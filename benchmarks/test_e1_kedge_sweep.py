@@ -1,0 +1,79 @@
+"""E1 — the k-edge compression trade-off (paper Section 3, Figure 1).
+
+Sweeps the compression-side k under on-demand decompression and reports,
+per workload, memory saving (peak and time-average vs. the uncompressed
+image) and cycle overhead.
+
+Paper's qualitative claims checked here:
+
+* small k -> aggressive compression: most memory saved, highest overhead;
+* large k -> delayed compression: less memory saved, lower overhead;
+* both trends are monotone in k.
+"""
+
+from __future__ import annotations
+
+from conftest import record_experiment
+
+from repro.analysis import Series, Table, percent, sweep
+from repro.core import SimulationConfig
+
+K_VALUES = (1, 2, 4, 8, 16, 32, None)
+
+
+def _config(k):
+    return SimulationConfig(
+        codec="shared-dict", decompression="ondemand", k_compress=k
+    )
+
+
+def run_experiment(workloads):
+    result = sweep(workloads, [_config(k) for k in K_VALUES])
+    assert not result.failures(), [
+        run.validation for run in result.failures()
+    ]
+
+    table = Table(
+        "E1: k-edge sweep (on-demand decompression, shared-dict)",
+        ["workload", "k", "avg_saving", "peak_saving", "overhead",
+         "faults", "recompressions"],
+    )
+    series = {}
+    for name in result.workloads():
+        mem = Series(name, "k", "avg_saving")
+        ovh = Series(name, "k", "overhead")
+        for run in result.by_workload(name):
+            r = run.result
+            k_label = "inf" if run.config.k_compress is None \
+                else run.config.k_compress
+            table.add_row(
+                name, k_label,
+                percent(r.average_saving), percent(r.peak_saving),
+                percent(r.cycle_overhead),
+                int(r.counters.faults), int(r.counters.recompressions),
+            )
+            x = 64 if run.config.k_compress is None \
+                else run.config.k_compress
+            mem.add(x, r.average_saving)
+            ovh.add(x, r.cycle_overhead)
+        series[name] = (mem, ovh)
+    return table, series
+
+
+def test_e1_kedge_sweep(experiment_suite, benchmark):
+    table, series = run_experiment(experiment_suite)
+    lines = [table.render(), ""]
+    for name, (mem, ovh) in series.items():
+        lines.append(mem.render())
+        lines.append(ovh.render())
+        # Section 3 shape: memory saving falls as k grows, overhead falls
+        # as k grows (small numeric jitter tolerated).
+        assert mem.is_monotone_nonincreasing(tolerance=0.02), name
+        assert ovh.is_monotone_nonincreasing(tolerance=0.05), name
+    record_experiment("e1_kedge_sweep", "\n".join(lines))
+
+    # timing anchor: one representative simulation
+    workload = experiment_suite[1]  # cold_paths
+    benchmark.pedantic(
+        lambda: sweep([workload], [_config(4)]), rounds=1, iterations=1
+    )

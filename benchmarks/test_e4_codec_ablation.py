@@ -1,0 +1,88 @@
+"""E4 — codec ablation (the paper leaves the compressor open; Section 5's
+related systems use Huffman/CodePack and dictionary schemes).
+
+For every workload and codec this reports (a) the static compressed-image
+ratio and (b) the dynamic cycle overhead under the default strategy, so
+the ratio/latency trade-off between codec families is visible.
+
+Shape checks:
+
+* the shared-model codecs beat their self-contained counterparts at basic
+  block granularity (the motivation for CodePack-style global tables);
+* RLE has the lowest modelled decompression latency (it anchors the fast
+  end), Huffman-family the highest ratio cost on latency.
+"""
+
+from __future__ import annotations
+
+from conftest import record_experiment
+
+from repro.analysis import Table, mean, percent
+from repro.cfg import build_cfg
+from repro.compress import compare_codecs, get_codec
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+
+CODECS = (
+    "shared-dict", "shared-fields", "shared-huffman",
+    "dictionary", "huffman", "lzw", "lz77", "rle", "mtf-rle",
+)
+
+#: Codecs simulated dynamically (static ratios are reported for all).
+DYNAMIC_CODECS = ("shared-dict", "shared-fields", "lzw", "rle")
+
+
+def run_experiment(workloads):
+    table = Table(
+        "E4: codec ablation (static ratio + dynamic overhead, kc=16)",
+        ["workload", "codec", "ratio", "saving", "dyn_overhead"],
+    )
+    ratios = {codec: [] for codec in CODECS}
+    for workload in workloads:
+        cfg = build_cfg(workload.program)
+        stats = compare_codecs(cfg.blocks, CODECS)
+        overheads = {}
+        for codec in DYNAMIC_CODECS:
+            result = CodeCompressionManager(
+                cfg,
+                SimulationConfig(
+                    codec=codec, decompression="ondemand", k_compress=16,
+                    trace_events=False, record_trace=False,
+                ),
+            ).run()
+            overheads[codec] = percent(result.cycle_overhead)
+        for codec in CODECS:
+            ratio = stats[codec].ratio
+            ratios[codec].append(ratio)
+            table.add_row(
+                workload.name, codec, ratio,
+                percent(stats[codec].space_saving),
+                overheads.get(codec, "-"),
+            )
+    return table, ratios
+
+
+def test_e4_codec_ablation(experiment_suite, benchmark):
+    table, ratios = run_experiment(experiment_suite)
+    mean_ratio = {codec: mean(values) for codec, values in ratios.items()}
+    table.add_note(
+        "suite mean ratios: "
+        + ", ".join(f"{c}={r:.3f}" for c, r in sorted(mean_ratio.items()))
+    )
+
+    # Shared models beat per-block self-contained payloads on average.
+    assert mean_ratio["shared-dict"] < mean_ratio["dictionary"]
+    assert mean_ratio["shared-huffman"] < mean_ratio["huffman"]
+    # The latency ordering of the cost model.
+    assert get_codec("rle").costs.decompress_cycles_per_byte <= \
+        get_codec("shared-dict").costs.decompress_cycles_per_byte
+    assert get_codec("shared-huffman").costs.decompress_cycles_per_byte \
+        >= get_codec("shared-dict").costs.decompress_cycles_per_byte
+
+    record_experiment("e4_codec_ablation", table.render())
+
+    cfg = build_cfg(experiment_suite[0].program)
+    benchmark.pedantic(
+        lambda: compare_codecs(cfg.blocks, ("shared-dict",)),
+        rounds=1, iterations=1,
+    )

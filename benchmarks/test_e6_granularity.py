@@ -1,0 +1,83 @@
+"""E6 — compression granularity comparison (paper Section 6).
+
+Ours (basic-block units) vs. Debray-Evans-style function units, plus the
+never-compress and naive always-compressed baselines.
+
+Paper's claim checked here: "we can potentially save more memory space
+when, for example, a particular basic block chain within a large function
+is repeatedly executed" — on the ``cold_paths`` workload (2 hot arms in a
+16-arm function) block granularity must hold a smaller average footprint
+than function granularity.
+"""
+
+from __future__ import annotations
+
+from conftest import record_experiment
+
+from repro.analysis import Table, percent, sweep
+from repro.strategies.baselines import (
+    block_granularity,
+    function_granularity,
+    naive_always_compressed,
+    uncompressed_baseline,
+)
+
+_CONFIGS = [
+    uncompressed_baseline(),
+    naive_always_compressed(),
+    block_granularity(k_compress=8),
+    function_granularity(k_compress=8),
+]
+
+
+def run_experiment(workloads):
+    result = sweep(workloads, _CONFIGS)
+    assert not result.failures()
+    table = Table(
+        "E6: granularity comparison (shared-dict, on-demand, kc=8)",
+        ["workload", "scheme", "avg_footprint", "avg_saving",
+         "overhead", "faults"],
+    )
+    cells = {}
+    for name in result.workloads():
+        for run in result.by_workload(name):
+            r = run.result
+            table.add_row(
+                name, run.config.label,
+                int(r.average_footprint), percent(r.average_saving),
+                percent(r.cycle_overhead), int(r.counters.faults),
+            )
+            cells[(name, run.config.label)] = r
+    return table, cells
+
+
+def test_e6_granularity(experiment_suite, benchmark):
+    table, cells = run_experiment(experiment_suite)
+
+    # Section 6 claim on the hot-chain-in-big-function workload.
+    assert cells[("cold_paths", "block-ondemand")].average_footprint < \
+        cells[("cold_paths", "function-ondemand")].average_footprint
+
+    # Function granularity faults at most as often on the many-small-
+    # functions workload (whole functions come in at once).
+    assert cells[("modular", "function-ondemand")].counters.faults <= \
+        cells[("modular", "block-ondemand")].counters.faults
+
+    # The naive k=1 baseline is the memory-minimal, overhead-maximal
+    # corner relative to the paper's operating point.
+    for name in ("cold_paths", "composite"):
+        assert cells[(name, "naive-k1")].average_footprint <= \
+            cells[(name, "block-ondemand")].average_footprint + 1
+        assert cells[(name, "naive-k1")].cycle_overhead >= \
+            cells[(name, "block-ondemand")].cycle_overhead - 0.01
+
+    # The uncompressed baseline never stalls.
+    for name in ("cold_paths", "modular"):
+        assert cells[(name, "uncompressed")].cycle_overhead == 0.0
+
+    record_experiment("e6_granularity", table.render())
+
+    benchmark.pedantic(
+        lambda: sweep([experiment_suite[2]], [_CONFIGS[3]]),
+        rounds=1, iterations=1,
+    )

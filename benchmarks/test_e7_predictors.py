@@ -1,0 +1,106 @@
+"""E7 — next-block predictor ablation for pre-decompress-single
+(paper Section 4: "we predict the block... most likely to be reached").
+
+Compares the predictor family on accuracy (fraction of pre-decompressed
+blocks actually used within the kd window) and on the resulting overhead.
+The static profile predictor is trained on a profiling run of the same
+program (classic profile-guided setup).
+
+Shape checks: accuracies are valid fractions; profile-guided prediction
+is competitive (suite mean accuracy >= 30%); every predictor preserves
+semantics (enforced by the sweep's oracle validation).
+"""
+
+from __future__ import annotations
+
+from conftest import record_experiment
+
+from repro.analysis import Table, mean, percent, run_one, sweep
+from repro.cfg import build_cfg, profile_from_trace
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+
+PREDICTORS = ("online-profile", "last-successor", "markov")
+
+
+def _offline_profile(cfg):
+    """Train an edge profile by running the program once uncompressed."""
+    manager = CodeCompressionManager(
+        cfg,
+        SimulationConfig(decompression="none", trace_events=False,
+                         record_trace=True),
+    )
+    result = manager.run()
+    return profile_from_trace(result.block_trace)
+
+
+def run_experiment(workloads):
+    table = Table(
+        "E7: predictor ablation (pre-single, kc=16, kd=2)",
+        ["workload", "predictor", "accuracy", "overhead",
+         "wasted_decompressions", "stall_cycles"],
+    )
+    accuracies = {name: [] for name in PREDICTORS + ("static-profile",)}
+    for workload in workloads:
+        cfg = build_cfg(workload.program)
+        configs = [
+            SimulationConfig(
+                decompression="pre-single", k_compress=16,
+                k_decompress=2, predictor=predictor,
+                trace_events=False, record_trace=False,
+            )
+            for predictor in PREDICTORS
+        ]
+        configs.append(
+            SimulationConfig(
+                decompression="pre-single", k_compress=16,
+                k_decompress=2, predictor="static-profile",
+                profile=_offline_profile(cfg),
+                trace_events=False, record_trace=False,
+            )
+        )
+        for config in configs:
+            run = run_one(workload, config, cfg=cfg)
+            assert run.ok, run.validation
+            r = run.result
+            table.add_row(
+                workload.name, config.predictor,
+                percent(r.counters.prediction_accuracy),
+                percent(r.cycle_overhead),
+                int(r.counters.wasted_decompressions),
+                int(r.counters.stall_cycles),
+            )
+            accuracies[config.predictor].append(
+                r.counters.prediction_accuracy
+            )
+    return table, accuracies
+
+
+def test_e7_predictors(experiment_suite, benchmark):
+    table, accuracies = run_experiment(experiment_suite)
+    means = {name: mean(values) for name, values in accuracies.items()}
+    table.add_note(
+        "suite mean accuracy: "
+        + ", ".join(f"{n}={v:.2f}" for n, v in sorted(means.items()))
+    )
+    for name, values in accuracies.items():
+        assert all(0.0 <= v <= 1.0 for v in values), name
+    # Profile-guided prediction must be genuinely informative.
+    assert means["static-profile"] >= 0.3
+    assert means["online-profile"] >= 0.3
+
+    record_experiment("e7_predictors", table.render())
+
+    workload = experiment_suite[3]  # fsm
+    cfg = build_cfg(workload.program)
+    benchmark.pedantic(
+        lambda: run_one(
+            workload,
+            SimulationConfig(
+                decompression="pre-single", k_compress=16,
+                k_decompress=2, trace_events=False, record_trace=False,
+            ),
+            cfg=cfg,
+        ),
+        rounds=1, iterations=1,
+    )

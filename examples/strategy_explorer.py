@@ -1,0 +1,81 @@
+"""Strategy explorer: the paper's Figure 3 design space on your workload.
+
+Runs one workload (default: the FSM tokenizer) through every point of the
+decompression design space x a k-edge sweep and prints the memory /
+performance landscape, so you can pick an operating point for a target.
+
+Run with::
+
+    python examples/strategy_explorer.py [workload]
+"""
+
+import sys
+
+from repro import SimulationConfig
+from repro.analysis import Table, percent, sweep
+from repro.workloads import available_workloads, get_workload
+
+
+def explore(name: str) -> None:
+    workload = get_workload(name)
+    print(f"workload: {name} — {workload.description}\n")
+
+    configs = []
+    for k_compress in (2, 8, 32):
+        configs.append(
+            SimulationConfig(
+                decompression="ondemand", k_compress=k_compress,
+                label=f"ondemand/k={k_compress}",
+            )
+        )
+        for strategy in ("pre-all", "pre-single"):
+            configs.append(
+                SimulationConfig(
+                    decompression=strategy, k_compress=k_compress,
+                    k_decompress=2,
+                    label=f"{strategy}/k={k_compress}",
+                )
+            )
+    result = sweep([workload], configs)
+    failures = result.failures()
+    assert not failures, failures[0].validation
+
+    table = Table(
+        f"design space for '{name}' (shared-dict codec)",
+        ["strategy", "avg_saving", "peak_saving", "overhead",
+         "stall_cycles", "prediction_accuracy"],
+    )
+    best_memory, best_speed = None, None
+    for run in result.runs:
+        r = run.result
+        table.add_row(
+            run.config.label,
+            percent(r.average_saving), percent(r.peak_saving),
+            percent(r.cycle_overhead), int(r.counters.stall_cycles),
+            percent(r.counters.prediction_accuracy)
+            if r.counters.predictions else "-",
+        )
+        if best_memory is None or r.average_saving > \
+                best_memory[1].average_saving:
+            best_memory = (run.config.label, r)
+        if best_speed is None or r.cycle_overhead < \
+                best_speed[1].cycle_overhead:
+            best_speed = (run.config.label, r)
+    print(table.render())
+    print(f"\nmost memory saved : {best_memory[0]} "
+          f"({percent(best_memory[1].average_saving)})")
+    print(f"lowest overhead   : {best_speed[0]} "
+          f"({percent(best_speed[1].cycle_overhead)})")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fsm"
+    if name not in available_workloads():
+        print(f"unknown workload '{name}'; "
+              f"available: {', '.join(available_workloads())}")
+        raise SystemExit(1)
+    explore(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Access pattern-based code compression for memory-constrained "
+        "embedded systems (DATE 2005 reproduction)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

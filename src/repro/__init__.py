@@ -1,0 +1,67 @@
+"""repro — access pattern-based code compression for memory-constrained
+embedded systems.
+
+A full reproduction of Ozturk, Saputra, Kandemir & Kolcu (DATE 2005): a
+CFG-guided scheme that keeps basic blocks compressed in memory, decompresses
+them as the instruction access pattern approaches (on demand or with
+pre-decompression), and recompresses them with the k-edge algorithm once
+their executions are over.
+
+Quickstart::
+
+    from repro import assemble, simulate, SimulationConfig
+
+    program = assemble(open("app.asm").read(), "app")
+    result = simulate(program, SimulationConfig(
+        codec="lzw", decompression="pre-single",
+        k_compress=4, k_decompress=2,
+    ))
+    print(result.render())
+
+Package map:
+
+* :mod:`repro.isa` — the embedded target ISA, assembler, binary encoding;
+* :mod:`repro.cfg` — basic blocks, control flow graph, loops, profiles;
+* :mod:`repro.compress` — codecs (Huffman, LZW, LZ77, dictionary, ...);
+* :mod:`repro.memory` — compressed/decompressed memory image, allocator,
+  remember sets;
+* :mod:`repro.runtime` — the cycle-accounted machine, background-thread
+  timelines, metrics;
+* :mod:`repro.strategies` — k-edge compression, on-demand and
+  pre-decompression policies, predictors, memory budgets;
+* :mod:`repro.core` — the manager tying it all together;
+* :mod:`repro.workloads` — embedded benchmark kernels and generators;
+* :mod:`repro.analysis` — sweep and reporting helpers for the experiments.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, EdgeProfile, ProgramCFG, build_cfg
+from .core import (
+    CodeCompressionManager,
+    ConfigError,
+    SimulationConfig,
+    SimulationResult,
+    simulate,
+)
+from .isa import Program, ProgramBuilder, assemble
+from .compress import available_codecs, get_codec
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BasicBlock",
+    "CodeCompressionManager",
+    "ConfigError",
+    "ControlFlowGraph",
+    "EdgeProfile",
+    "Program",
+    "ProgramBuilder",
+    "ProgramCFG",
+    "SimulationConfig",
+    "SimulationResult",
+    "__version__",
+    "assemble",
+    "available_codecs",
+    "build_cfg",
+    "get_codec",
+    "simulate",
+]

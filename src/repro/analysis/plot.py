@@ -1,0 +1,105 @@
+"""Terminal plotting: render footprint timelines and series as ASCII.
+
+Experiment output is text files; these helpers make the memory-over-time
+behaviour (the paper's central quantity) visible without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..runtime.metrics import FootprintTimeline
+
+_BARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress ``values`` into a one-line bar chart of ``width`` chars."""
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        # bucket-average down to the target width
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket): max(int(i * bucket) + 1,
+                                            int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket): max(
+                int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return _BARS[len(_BARS) // 2] * len(values)
+    out = []
+    for value in values:
+        index = int((value - low) / span * (len(_BARS) - 1))
+        out.append(_BARS[index])
+    return "".join(out)
+
+
+def plot_timeline(
+    timeline: FootprintTimeline,
+    width: int = 64,
+    height: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """Render a footprint timeline as a small ASCII chart.
+
+    The x axis is cycle time (piecewise-constant samples are resampled
+    onto ``width`` columns); the y axis spans [0, peak].
+    """
+    samples = timeline.samples
+    if not samples:
+        return "(empty timeline)"
+    start = samples[0][0]
+    end = samples[-1][0]
+    span = max(1, end - start)
+
+    # Resample the step function onto the grid.
+    columns: List[int] = []
+    sample_index = 0
+    for column in range(width):
+        cycle = start + span * column // max(1, width - 1)
+        while (
+            sample_index + 1 < len(samples)
+            and samples[sample_index + 1][0] <= cycle
+        ):
+            sample_index += 1
+        columns.append(samples[sample_index][1])
+
+    peak = max(columns)
+    if peak == 0:
+        peak = 1
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        line = "".join(
+            "#" if value >= threshold else " " for value in columns
+        )
+        label = f"{int(threshold):>8} |"
+        rows.append(label + line)
+    rows.append(" " * 9 + "+" + "-" * width)
+    rows.append(
+        f"{'':9}{start:<{width // 2}}{end:>{width - width // 2}}"
+    )
+    return "\n".join(rows)
+
+
+def plot_series(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """One-line summary of an (x, y) series: range plus sparkline."""
+    if not points:
+        return f"{label}: (empty)"
+    ys = [y for _, y in points]
+    return (
+        f"{label}: min={min(ys):.3g} max={max(ys):.3g}  "
+        f"[{sparkline(ys, width)}]"
+    )

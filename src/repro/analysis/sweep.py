@@ -1,0 +1,131 @@
+"""Parameter-sweep harness shared by the experiment benchmarks.
+
+One call = one grid of (workload x configuration) simulations, returned as
+:class:`SweepResult` for table/series extraction.  Simulation runs are
+deliberately sequential and deterministic (no threads, no wall-clock
+dependence) so experiment output is stable across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..cfg.builder import ProgramCFG, build_cfg
+from ..core.config import SimulationConfig
+from ..core.manager import CodeCompressionManager
+from ..isa.program import Program
+from ..runtime.metrics import SimulationResult
+from ..workloads.suite import Workload
+
+
+@dataclass
+class SweepRun:
+    """One (workload, config) cell of a sweep."""
+
+    workload: str
+    config: SimulationConfig
+    result: SimulationResult
+    validation: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the workload oracle accepted the final state."""
+        return not self.validation
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, with lookup helpers."""
+
+    runs: List[SweepRun] = field(default_factory=list)
+
+    def by_workload(self, name: str) -> List[SweepRun]:
+        """Runs of one workload, in sweep order."""
+        return [run for run in self.runs if run.workload == name]
+
+    def by_label(self, label: str) -> List[SweepRun]:
+        """Runs whose config label/strategy name matches ``label``."""
+        return [
+            run for run in self.runs
+            if run.config.strategy_name == label
+        ]
+
+    def workloads(self) -> List[str]:
+        """Distinct workload names in first-seen order."""
+        seen: List[str] = []
+        for run in self.runs:
+            if run.workload not in seen:
+                seen.append(run.workload)
+        return seen
+
+    def failures(self) -> List[SweepRun]:
+        """Runs whose oracle rejected the final machine state."""
+        return [run for run in self.runs if not run.ok]
+
+
+#: Default fast-simulation overrides applied to every sweep config.
+_FAST = {"trace_events": False, "record_trace": False}
+
+
+def run_one(
+    workload: Workload,
+    config: SimulationConfig,
+    cfg: Optional[ProgramCFG] = None,
+    max_blocks: Optional[int] = None,
+) -> SweepRun:
+    """Simulate one workload under one config and validate the result."""
+    graph = cfg if cfg is not None else build_cfg(workload.program)
+    manager = CodeCompressionManager(graph, config)
+    result = manager.run(max_blocks=max_blocks)
+    return SweepRun(
+        workload=workload.name,
+        config=config,
+        result=result,
+        validation=workload.validate(manager.machine),
+    )
+
+
+def sweep(
+    workloads: Sequence[Workload],
+    configs: Sequence[SimulationConfig],
+    fast: bool = True,
+    max_blocks: Optional[int] = None,
+) -> SweepResult:
+    """Run the full (workload x config) grid.
+
+    ``fast=True`` disables event/trace recording (the counters and
+    footprint timeline are unaffected).  CFGs are built once per workload
+    and shared across configs.
+    """
+    out = SweepResult()
+    for workload in workloads:
+        graph = build_cfg(workload.program)
+        for config in configs:
+            effective = config.replace(**_FAST) if fast else config
+            out.runs.append(
+                run_one(workload, effective, cfg=graph,
+                        max_blocks=max_blocks)
+            )
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (values must be positive)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(
+                f"geometric mean needs positive values, got {value}"
+            )
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,38 @@
+"""Control flow graph substrate: blocks, graph, dominators, loops, profiles.
+
+The CFG is "an abstract data structure used in compilers to represent a
+procedure" (paper, Section 2); here it is built whole-program because the
+runtime tracks every basic-block transition.
+"""
+
+from .basic_block import BasicBlock
+from .builder import ProgramCFG, build_cfg
+from .dominators import dominates, dominator_sets, immediate_dominators
+from .graph import CFGError, ControlFlowGraph, Edge
+from .loops import (
+    NaturalLoop,
+    find_back_edges,
+    hot_block_estimate,
+    loop_nest_depths,
+    natural_loops,
+)
+from .profile import EdgeProfile, profile_from_trace
+
+__all__ = [
+    "BasicBlock",
+    "CFGError",
+    "ControlFlowGraph",
+    "Edge",
+    "EdgeProfile",
+    "NaturalLoop",
+    "ProgramCFG",
+    "build_cfg",
+    "dominates",
+    "dominator_sets",
+    "find_back_edges",
+    "hot_block_estimate",
+    "immediate_dominators",
+    "loop_nest_depths",
+    "natural_loops",
+    "profile_from_trace",
+]

@@ -1,0 +1,118 @@
+"""Basic block representation.
+
+A basic block is "a straight-line piece of code without any jumps or jump
+targets; jump targets start a block, and jumps end a block" (paper,
+Section 2).  Blocks are the paper's unit of compression and decompression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import INSTRUCTION_SIZE, Instruction, Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        block_id: dense index of the block within its CFG (``B0``, ``B1``...
+            in the paper's notation follows this numbering).
+        start_index: index of the first instruction in the owning program.
+        instructions: the block's instructions, in program order.
+        label: program label defined at the block's first instruction, if
+            any (used for readable traces).
+    """
+
+    block_id: int
+    start_index: int
+    instructions: List[Instruction]
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError(f"basic block B{self.block_id} is empty")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def end_index(self) -> int:
+        """Index one past the last instruction (program indices)."""
+        return self.start_index + len(self.instructions)
+
+    @property
+    def start_address(self) -> int:
+        """Byte address of the block in the original uncompressed image."""
+        return self.start_index * INSTRUCTION_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        """Uncompressed size of the block in bytes."""
+        return len(self.instructions) * INSTRUCTION_SIZE
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # ------------------------------------------------------------------
+    # Terminator classification
+    # ------------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Instruction:
+        """The last instruction of the block."""
+        return self.instructions[-1]
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control may continue to the next block in layout order.
+
+        Fall-through happens after conditional branches (not taken), after
+        CALL (on return, execution resumes at the next instruction, which we
+        model as fall-through to the successor block once the callee
+        returns), and after any non-terminator last instruction.
+        """
+        op = self.terminator.opcode
+        return op not in (Opcode.JMP, Opcode.RET, Opcode.HALT)
+
+    @property
+    def is_exit(self) -> bool:
+        """True if the block ends the program (HALT terminator)."""
+        return self.terminator.opcode is Opcode.HALT
+
+    @property
+    def cycle_cost(self) -> int:
+        """Sum of base cycle costs of the block's instructions."""
+        return sum(instr.cycles for instr in self.instructions)
+
+    def branch_targets(self) -> List[int]:
+        """Byte addresses this block's branch instructions jump to.
+
+        Only the terminator and CALL instructions inside the block carry
+        code addresses in this ISA.
+        """
+        return [
+            instr.imm for instr in self.instructions if instr.is_branch
+        ]
+
+    @property
+    def name(self) -> str:
+        """Readable name: the defining label, or ``B<n>``."""
+        return self.label if self.label else f"B{self.block_id}"
+
+    def render(self) -> str:
+        """Return a printable listing of the block."""
+        header = f"{self.name} (id={self.block_id}, " \
+                 f"addr={self.start_address:#06x}, {self.size_bytes}B)"
+        body = "\n".join(f"    {instr.render()}"
+                         for instr in self.instructions)
+        return f"{header}\n{body}"
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock(id={self.block_id}, start={self.start_index}, "
+            f"n={len(self.instructions)}, label={self.label!r})"
+        )

@@ -1,0 +1,263 @@
+"""CFG construction from a linked program (leader algorithm).
+
+Implements the classic basic-block discovery from Muchnick [20 in the
+paper]: jump targets start a block, jumps end a block.  On top of the
+intraprocedural edges we add interprocedural ``call`` and ``return`` edges
+so a *whole-program* CFG is available — the paper's runtime tracks every
+basic-block transition of the program, across procedure boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program, ProgramError
+from .basic_block import BasicBlock
+from .graph import CFGError, ControlFlowGraph, Edge
+
+
+class ProgramCFG(ControlFlowGraph):
+    """A CFG bound to the :class:`~repro.isa.program.Program` it came from.
+
+    Adds address/index lookups that the runtime needs to translate a program
+    counter into a basic block.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        blocks: List[BasicBlock],
+        edges: List[Edge],
+        entry_id: int,
+    ) -> None:
+        super().__init__(blocks, edges, entry_id=entry_id, name=program.name)
+        self.program = program
+        self._by_start_index: Dict[int, BasicBlock] = {
+            block.start_index: block for block in blocks
+        }
+        # Dense instruction-index -> block-id map for O(1) PC translation.
+        self._index_to_block: List[int] = [0] * len(program.instructions)
+        for block in blocks:
+            for index in range(block.start_index, block.end_index):
+                self._index_to_block[index] = block.block_id
+        #: function entry block id -> block ids of the function body;
+        #: populated by :func:`build_cfg`.
+        self.functions: Dict[int, Set[int]] = {}
+        #: block id -> owning function's entry block id.
+        self.function_of: Dict[int, int] = {}
+
+    def block_at_index(self, instruction_index: int) -> BasicBlock:
+        """Block containing the instruction at ``instruction_index``."""
+        if not 0 <= instruction_index < len(self._index_to_block):
+            raise CFGError(
+                f"instruction index {instruction_index} out of range"
+            )
+        return self.blocks[self._index_to_block[instruction_index]]
+
+    def block_starting_at(self, instruction_index: int) -> BasicBlock:
+        """Block whose *first* instruction is ``instruction_index``."""
+        block = self._by_start_index.get(instruction_index)
+        if block is None:
+            raise CFGError(
+                f"no basic block starts at instruction {instruction_index}"
+            )
+        return block
+
+    def block_at_address(self, address: int) -> BasicBlock:
+        """Block containing the original-image byte ``address``."""
+        return self.block_at_index(self.program.index_of_address(address))
+
+
+def _find_leaders(program: Program) -> List[int]:
+    """Return sorted instruction indices that begin basic blocks."""
+    leaders: Set[int] = {program.entry_index, 0}
+    instructions = program.instructions
+    for index, instr in enumerate(instructions):
+        if instr.is_branch:
+            leaders.add(program.index_of_address(instr.imm))
+        ends_block = instr.is_terminator or instr.opcode is Opcode.CALL
+        if ends_block and index + 1 < len(instructions):
+            leaders.add(index + 1)
+    # Labels also start blocks: they are potential jump targets and keep
+    # hand-written kernels' block structure intact.
+    leaders.update(
+        index for index in program.labels.values()
+        if index < len(instructions)
+    )
+    return sorted(leaders)
+
+
+def _split_blocks(program: Program, leaders: List[int]) -> List[BasicBlock]:
+    blocks: List[BasicBlock] = []
+    boundaries = leaders + [len(program.instructions)]
+    for block_id, (start, end) in enumerate(
+        zip(boundaries[:-1], boundaries[1:])
+    ):
+        # A CALL in the middle of a straight-line region must end its
+        # block; _find_leaders guarantees that, so every [start, end) here
+        # is call-free except possibly at its last position.
+        blocks.append(
+            BasicBlock(
+                block_id=block_id,
+                start_index=start,
+                instructions=list(program.instructions[start:end]),
+                label=program.label_at(start),
+            )
+        )
+    return blocks
+
+
+def _intraprocedural_edges(
+    program: Program, blocks: List[BasicBlock], cfg_index: Dict[int, int]
+) -> Tuple[List[Edge], List[Tuple[int, int]]]:
+    """Build non-return edges.
+
+    Returns ``(edges, call_sites)`` where ``call_sites`` is a list of
+    ``(caller_block_id, callee_entry_block_id)`` pairs; the caller block's
+    fall-through block is its return point.
+    """
+    edges: List[Edge] = []
+    call_sites: List[Tuple[int, int]] = []
+    for block in blocks:
+        terminator = block.terminator
+        next_block_id = cfg_index.get(block.end_index)
+        if terminator.is_conditional:
+            taken = cfg_index[program.index_of_address(terminator.imm)]
+            edges.append(Edge(block.block_id, taken, "taken"))
+            if next_block_id is None:
+                raise CFGError(
+                    f"conditional branch at end of program in block "
+                    f"B{block.block_id}"
+                )
+            edges.append(Edge(block.block_id, next_block_id, "fallthrough"))
+        elif terminator.opcode is Opcode.JMP:
+            dest = cfg_index[program.index_of_address(terminator.imm)]
+            edges.append(Edge(block.block_id, dest, "jump"))
+        elif terminator.opcode is Opcode.CALL:
+            callee = cfg_index[program.index_of_address(terminator.imm)]
+            edges.append(Edge(block.block_id, callee, "call"))
+            call_sites.append((block.block_id, callee))
+        elif terminator.opcode in (Opcode.RET, Opcode.HALT):
+            pass  # return edges added separately; HALT has no successor
+        else:
+            # Block was split because the next instruction is a leader.
+            if next_block_id is None:
+                raise CFGError(
+                    f"block B{block.block_id} falls off the end of the "
+                    f"program"
+                )
+            edges.append(Edge(block.block_id, next_block_id, "fallthrough"))
+    return edges, call_sites
+
+
+def _function_bodies(
+    blocks: List[BasicBlock],
+    edges: List[Edge],
+    call_sites: List[Tuple[int, int]],
+    cfg_index: Dict[int, int],
+) -> Dict[int, Set[int]]:
+    """Map callee-entry block id -> set of block ids in that function body.
+
+    Body discovery walks intraprocedural edges; a CALL block continues at
+    its return point (the call is opaque), and RET blocks end the walk.
+    """
+    succ: Dict[int, List[int]] = {b.block_id: [] for b in blocks}
+    call_return: Dict[int, Optional[int]] = {}
+    for edge in edges:
+        if edge.kind == "call":
+            # handled via return-point shortcut below
+            continue
+        succ[edge.src].append(edge.dst)
+    for block in blocks:
+        if block.terminator.opcode is Opcode.CALL:
+            call_return[block.block_id] = cfg_index.get(block.end_index)
+
+    bodies: Dict[int, Set[int]] = {}
+    for _, callee in call_sites:
+        if callee in bodies:
+            continue
+        body: Set[int] = set()
+        frontier = deque([callee])
+        while frontier:
+            node = frontier.popleft()
+            if node in body:
+                continue
+            body.add(node)
+            block = blocks[node]
+            if block.terminator.opcode is Opcode.RET:
+                continue
+            if block.terminator.opcode is Opcode.CALL:
+                return_point = call_return.get(node)
+                if return_point is not None:
+                    frontier.append(return_point)
+                continue
+            frontier.extend(succ[node])
+        bodies[callee] = body
+    return bodies
+
+
+def build_cfg(program: Program) -> ProgramCFG:
+    """Build the whole-program CFG of a linked ``program``.
+
+    Raises :class:`~repro.cfg.graph.CFGError` on structural problems and
+    :class:`~repro.isa.program.ProgramError` if the program is unlinked.
+    """
+    if not program.is_linked:
+        raise ProgramError(
+            f"program '{program.name}' must be linked before CFG "
+            f"construction"
+        )
+    leaders = _find_leaders(program)
+    blocks = _split_blocks(program, leaders)
+    cfg_index = {block.start_index: block.block_id for block in blocks}
+
+    edges, call_sites = _intraprocedural_edges(program, blocks, cfg_index)
+
+    # Return edges: each RET block of a function gets an edge to the
+    # return point of every call site targeting that function.
+    bodies = _function_bodies(blocks, edges, call_sites, cfg_index)
+    for caller, callee in call_sites:
+        return_point = cfg_index.get(blocks[caller].end_index)
+        if return_point is None:
+            raise CFGError(
+                f"call in block B{caller} has no return point (call at end "
+                f"of program)"
+            )
+        for body_block in bodies[callee]:
+            if blocks[body_block].terminator.opcode is Opcode.RET:
+                edges.append(Edge(body_block, return_point, "return"))
+
+    entry_id = cfg_index[program.entry_index]
+    cfg = ProgramCFG(program, blocks, edges, entry_id)
+
+    # Function partition (used by the function-granularity baseline of
+    # experiment E6): the main function plus one function per call target.
+    # Blocks reachable from several entries are assigned to the first owner
+    # in (main, call targets in program order); leftovers become singleton
+    # functions.
+    main_body = _function_bodies(
+        blocks, edges, [(entry_id, entry_id)], cfg_index
+    )[entry_id]
+    ordered_entries: List[Tuple[int, Set[int]]] = [(entry_id, main_body)]
+    seen_entries = {entry_id}
+    for _, callee in call_sites:
+        if callee not in seen_entries:
+            seen_entries.add(callee)
+            ordered_entries.append((callee, bodies[callee]))
+    for entry, body in ordered_entries:
+        owned = {
+            block_id for block_id in body
+            if block_id not in cfg.function_of
+        }
+        if not owned:
+            continue
+        cfg.functions[entry] = owned
+        for block_id in owned:
+            cfg.function_of[block_id] = entry
+    for block in blocks:
+        if block.block_id not in cfg.function_of:
+            cfg.functions[block.block_id] = {block.block_id}
+            cfg.function_of[block.block_id] = block.block_id
+    return cfg

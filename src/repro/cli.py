@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``list``     — available workloads, codecs, predictors, strategies;
+* ``inspect``  — disassembly + CFG + static compression of a workload;
+* ``run``      — simulate one workload under one configuration;
+* ``sweep``    — k-edge sweep table for one workload;
+* ``compare``  — Figure 3 design-space comparison for one workload.
+
+All output is plain text, suitable for piping into experiment notes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import Table, percent, run_one, sweep
+from .cfg import build_cfg, natural_loops
+from .compress import available_codecs, compare_codecs
+from .core import DECOMPRESSION_STRATEGIES, SimulationConfig
+from .strategies import available_predictors
+from .workloads import available_workloads, get_workload
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--codec", default="shared-dict", choices=available_codecs(),
+        help="compression codec (default: shared-dict)",
+    )
+    parser.add_argument(
+        "--strategy", default="ondemand",
+        choices=list(DECOMPRESSION_STRATEGIES),
+        help="decompression strategy (default: ondemand)",
+    )
+    parser.add_argument(
+        "--k-compress", type=int, default=8, metavar="K",
+        help="k-edge recompression distance; 0 = never recompress "
+             "(default: 8)",
+    )
+    parser.add_argument(
+        "--k-decompress", type=int, default=2, metavar="K",
+        help="pre-decompression distance (default: 2)",
+    )
+    parser.add_argument(
+        "--predictor", default="online-profile",
+        choices=[p for p in available_predictors()
+                 if p != "static-profile"],
+        help="predictor for pre-single (default: online-profile)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="BYTES",
+        help="optional hard cap on the code footprint",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        codec=args.codec,
+        decompression=args.strategy,
+        k_compress=None if args.k_compress == 0 else args.k_compress,
+        k_decompress=args.k_decompress,
+        predictor=args.predictor,
+        memory_budget=args.budget,
+        trace_events=False,
+        record_trace=False,
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in available_workloads():
+        print(f"  {name:12s} {get_workload(name).description}")
+    print("\ncodecs:      " + ", ".join(available_codecs()))
+    print("predictors:  " + ", ".join(available_predictors()))
+    print("strategies:  " + ", ".join(DECOMPRESSION_STRATEGIES))
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    cfg = build_cfg(workload.program)
+    print(f"{workload.name}: {workload.description}")
+    print(f"{len(workload.program)} instructions, "
+          f"{len(cfg.blocks)} basic blocks, "
+          f"{cfg.num_edges} edges, "
+          f"{len(natural_loops(cfg))} natural loops, "
+          f"{cfg.total_size_bytes()} bytes\n")
+    print(cfg.render())
+    print()
+    table = Table(
+        "static compression", ["codec", "ratio", "saving"]
+    )
+    for name, stats in compare_codecs(
+        cfg.blocks, ("shared-dict", "shared-fields", "shared-huffman")
+    ).items():
+        table.add_row(name, stats.ratio, percent(stats.space_saving))
+    print(table.render())
+    if args.disasm:
+        print()
+        print(workload.program.disassemble())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    run = run_one(workload, _config_from_args(args))
+    print(run.result.render())
+    if run.validation:
+        print("\nVALIDATION FAILED:")
+        for problem in run.validation:
+            print(f"  {problem}")
+        return 1
+    print("\nvalidation: OK (oracle accepted the final machine state)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    k_values: List[Optional[int]] = [
+        None if token in ("inf", "0") else int(token)
+        for token in args.k_values.split(",")
+    ]
+    configs = [
+        SimulationConfig(
+            codec=args.codec, decompression=args.strategy,
+            k_compress=k, k_decompress=args.k_decompress,
+            predictor=args.predictor,
+            trace_events=False, record_trace=False,
+        )
+        for k in k_values
+    ]
+    result = sweep([workload], configs)
+    table = Table(
+        f"k-edge sweep for '{workload.name}' "
+        f"({args.strategy}, {args.codec})",
+        ["k", "avg_saving", "peak_saving", "overhead", "faults"],
+    )
+    for k, run in zip(k_values, result.runs):
+        r = run.result
+        table.add_row(
+            "inf" if k is None else k,
+            percent(r.average_saving), percent(r.peak_saving),
+            percent(r.cycle_overhead), int(r.counters.faults),
+        )
+    print(table.render())
+    return 0 if not result.failures() else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    configs = [
+        SimulationConfig(decompression="none", codec="null",
+                         label="uncompressed", trace_events=False,
+                         record_trace=False),
+    ]
+    for strategy in ("ondemand", "pre-all", "pre-single"):
+        configs.append(
+            SimulationConfig(
+                codec=args.codec, decompression=strategy,
+                k_compress=None if args.k_compress == 0
+                else args.k_compress,
+                k_decompress=args.k_decompress,
+                predictor=args.predictor, label=strategy,
+                trace_events=False, record_trace=False,
+            )
+        )
+    result = sweep([workload], configs)
+    table = Table(
+        f"design space for '{workload.name}' ({args.codec}, "
+        f"kc={args.k_compress}, kd={args.k_decompress})",
+        ["strategy", "avg_footprint", "avg_saving", "overhead",
+         "stall_cycles"],
+    )
+    for run in result.runs:
+        r = run.result
+        table.add_row(
+            run.config.label, int(r.average_footprint),
+            percent(r.average_saving), percent(r.cycle_overhead),
+            int(r.counters.stall_cycles),
+        )
+    print(table.render())
+    return 0 if not result.failures() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Access pattern-based code compression (DATE 2005) "
+                    "— simulator CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="list workloads, codecs, predictors, strategies"
+    ).set_defaults(func=cmd_list)
+
+    inspect_parser = subparsers.add_parser(
+        "inspect", help="show a workload's CFG and static compression"
+    )
+    inspect_parser.add_argument("workload", choices=available_workloads())
+    inspect_parser.add_argument(
+        "--disasm", action="store_true", help="include full disassembly"
+    )
+    inspect_parser.set_defaults(func=cmd_inspect)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one workload under one configuration"
+    )
+    run_parser.add_argument("workload", choices=available_workloads())
+    _add_config_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="k-edge sweep table for one workload"
+    )
+    sweep_parser.add_argument("workload", choices=available_workloads())
+    sweep_parser.add_argument(
+        "--k-values", default="1,2,4,8,16,inf",
+        help="comma-separated k list; 'inf' = never recompress",
+    )
+    _add_config_arguments(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare the decompression design space"
+    )
+    compare_parser.add_argument("workload",
+                                choices=available_workloads())
+    _add_config_arguments(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

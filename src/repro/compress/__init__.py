@@ -1,0 +1,64 @@
+"""Compression substrate: bit I/O, codecs, and measurement helpers.
+
+All codecs are lossless over arbitrary byte strings and registered in a
+name-indexed registry; the simulator charges their modelled cycle costs.
+"""
+
+from .bitio import BitIOError, BitReader, BitWriter
+from .codec import (
+    Codec,
+    CodecCosts,
+    CodecError,
+    NullCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from .dictionary import DictionaryCodec
+from .huffman import HuffmanCodec
+from .lz77 import LZ77Codec
+from .lzw import LZWCodec
+from .rle import MTFRLECodec, RLECodec
+from .shared import (
+    SharedDictionaryCodec,
+    SharedFieldsCodec,
+    SharedHuffmanCodec,
+    SharedModelCodec,
+)
+from .stats import (
+    BlockCompressionStats,
+    ImageCompressionStats,
+    block_bytes,
+    compare_codecs,
+    measure_block,
+    measure_image,
+)
+
+__all__ = [
+    "BitIOError",
+    "BitReader",
+    "BitWriter",
+    "BlockCompressionStats",
+    "Codec",
+    "CodecCosts",
+    "CodecError",
+    "DictionaryCodec",
+    "HuffmanCodec",
+    "ImageCompressionStats",
+    "LZ77Codec",
+    "LZWCodec",
+    "MTFRLECodec",
+    "NullCodec",
+    "RLECodec",
+    "SharedDictionaryCodec",
+    "SharedFieldsCodec",
+    "SharedHuffmanCodec",
+    "SharedModelCodec",
+    "available_codecs",
+    "block_bytes",
+    "compare_codecs",
+    "get_codec",
+    "measure_block",
+    "measure_image",
+    "register_codec",
+]

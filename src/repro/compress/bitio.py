@@ -1,0 +1,125 @@
+"""Bit-level I/O used by the entropy and dictionary coders.
+
+Bits are written MSB-first within each byte, which is the conventional
+layout for canonical Huffman streams in embedded decompressors (it allows
+table-driven decoding by peeking at the top bits).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class BitIOError(ValueError):
+    """Raised on malformed bit streams (overruns, bad field widths)."""
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as bytes."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+        self._bit_count = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise BitIOError(f"bit must be 0 or 1, got {bit}")
+        self._current = (self._current << 1) | bit
+        self._filled += 1
+        self._bit_count += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (most significant first)."""
+        if width < 0:
+            raise BitIOError(f"width must be non-negative, got {width}")
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise BitIOError(
+                f"value {value} does not fit in {width} bits"
+            )
+        for position in range(width - 1, -1, -1):
+            self.write_bit((value >> position) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` in unary: ``value`` ones then a zero."""
+        if value < 0:
+            raise BitIOError(f"unary value must be non-negative, got {value}")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def write_gamma(self, value: int) -> None:
+        """Append Elias-gamma code of ``value`` (value >= 1)."""
+        if value < 1:
+            raise BitIOError(f"gamma value must be >= 1, got {value}")
+        width = value.bit_length()
+        self.write_unary(width - 1)
+        self.write_bits(value - (1 << (width - 1)), width - 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return self._bit_count
+
+    def getvalue(self) -> bytes:
+        """Return the bit stream padded with zero bits to a whole byte."""
+        if self._filled == 0:
+            return bytes(self._buffer)
+        tail = self._current << (8 - self._filled)
+        return bytes(self._buffer) + bytes((tail,))
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits (including any padding)."""
+        return len(self._data) * 8 - self._position
+
+    @property
+    def bit_position(self) -> int:
+        """Current absolute bit offset."""
+        return self._position
+
+    def read_bit(self) -> int:
+        """Read one bit; raises :class:`BitIOError` past the end."""
+        if self._position >= len(self._data) * 8:
+            raise BitIOError("bit stream exhausted")
+        byte = self._data[self._position >> 3]
+        bit = (byte >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise BitIOError(f"width must be non-negative, got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of ones before the zero)."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    def read_gamma(self) -> int:
+        """Read an Elias-gamma coded value."""
+        width = self.read_unary() + 1
+        if width == 1:
+            return 1
+        return (1 << (width - 1)) | self.read_bits(width - 1)

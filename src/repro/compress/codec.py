@@ -1,0 +1,157 @@
+"""Codec interface, cost model, and registry.
+
+The paper leaves the choice of compressor open ("how one can perform
+compressions", Section 3, is about *when*, not *how*); real systems it cites
+use Huffman-style entropy coders (CodePack [14]) and dictionary schemes
+(Lefurgy et al. [16, 17]).  We provide several codecs behind one interface
+so the E4 ablation can compare them, and a per-byte cycle-cost model so the
+runtime can charge realistic (de)compression latencies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+
+class CodecError(ValueError):
+    """Raised when a payload cannot be decoded (corruption, wrong codec)."""
+
+
+@dataclass(frozen=True)
+class CodecCosts:
+    """Cycle-cost model of a codec for the runtime thread timelines.
+
+    ``decompress_cycles_per_byte`` is charged per *output* (uncompressed)
+    byte; ``compress_cycles_per_byte`` per input byte; ``fixed`` cycles are
+    charged once per operation (table setup, handler entry).
+    """
+
+    decompress_cycles_per_byte: float
+    compress_cycles_per_byte: float
+    fixed: int = 20
+
+    def decompress_latency(self, uncompressed_size: int) -> int:
+        """Cycles to decompress a block of ``uncompressed_size`` bytes."""
+        return self.fixed + int(
+            round(self.decompress_cycles_per_byte * uncompressed_size)
+        )
+
+    def compress_latency(self, uncompressed_size: int) -> int:
+        """Cycles to compress a block of ``uncompressed_size`` bytes."""
+        return self.fixed + int(
+            round(self.compress_cycles_per_byte * uncompressed_size)
+        )
+
+
+class Codec(abc.ABC):
+    """Abstract lossless codec over byte strings.
+
+    Subclasses must guarantee ``decompress(compress(data)) == data`` for all
+    byte strings (the property-based tests enforce this).
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    #: Cycle-cost model used by the simulator.
+    costs = CodecCosts(
+        decompress_cycles_per_byte=4.0, compress_cycles_per_byte=8.0
+    )
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; must be invertible by :meth:`decompress`."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress`; raises :class:`CodecError` on bad input."""
+
+    def ratio(self, data: bytes) -> float:
+        """Compressed/original size ratio for ``data`` (lower is better)."""
+        if not data:
+            return 1.0
+        return len(self.compress(data)) / len(data)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NullCodec(Codec):
+    """Identity codec — the "no compression" baseline.
+
+    Zero latency: fetching "compressed" code costs nothing extra, and the
+    image is full size.  Used by the never-compress baseline in E6.
+    """
+
+    name = "null"
+    costs = CodecCosts(
+        decompress_cycles_per_byte=0.0, compress_cycles_per_byte=0.0, fixed=0
+    )
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return bytes(payload)
+
+
+def compress_for_image(codec: Codec, data: bytes) -> bytes:
+    """Compress a block for storage in a code image.
+
+    Codecs that support *sized* payloads (the block table already records
+    each block's uncompressed size, so the payload need not repeat it)
+    expose ``compress_block``; others fall back to the self-contained
+    format.
+    """
+    compress_block = getattr(codec, "compress_block", None)
+    if compress_block is not None:
+        return compress_block(data)
+    return codec.compress(data)
+
+
+def decompress_for_image(
+    codec: Codec, payload: bytes, uncompressed_size: int
+) -> bytes:
+    """Invert :func:`compress_for_image` given the known block size."""
+    decompress_block = getattr(codec, "decompress_block", None)
+    if decompress_block is not None:
+        return decompress_block(payload, uncompressed_size)
+    return codec.decompress(payload)
+
+
+_REGISTRY: Dict[str, Callable[[], Codec]] = {}
+
+
+def register_codec(name: str) -> Callable[[Type[Codec]], Type[Codec]]:
+    """Class decorator registering a codec under ``name``."""
+
+    def decorate(cls: Type[Codec]) -> Type[Codec]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_codec(name: str) -> Codec:
+    """Instantiate the codec registered under ``name``.
+
+    Raises ``KeyError`` with the list of known codecs if absent.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec '{name}'; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_codecs() -> List[str]:
+    """Names of all registered codecs."""
+    return sorted(_REGISTRY)
+
+
+register_codec("null")(NullCodec)

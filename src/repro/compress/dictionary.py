@@ -1,0 +1,146 @@
+"""Instruction-dictionary codec (CodePack / Lefurgy style).
+
+Real embedded code compressors (IBM CodePack [14], Lefurgy et al. [16, 17]
+in the paper) exploit that a small set of 32-bit instruction words covers
+most of a program.  This codec works at the ISA's 4-byte word granularity:
+
+* a per-block dictionary of the most frequent words is emitted in the
+  payload header;
+* each word encodes as ``1 + index_bits`` bits if in the dictionary, else
+  ``1 + 32`` bits literal.
+
+Payload layout::
+
+    [1 byte tag][4 bytes original length]
+    [1 byte index_bits][2 bytes dictionary entry count]
+    [entries x 4 bytes][bit stream][trailing (len % 4) literal bytes in stream]
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from .bitio import BitIOError, BitReader, BitWriter
+from .codec import Codec, CodecCosts, CodecError, register_codec
+
+_TAG_RAW = 0
+_TAG_DICT = 1
+
+_WORD = 4
+_MAX_INDEX_BITS = 12
+
+
+@register_codec("dictionary")
+class DictionaryCodec(Codec):
+    """Frequent-word dictionary coder over 4-byte instruction words."""
+
+    costs = CodecCosts(
+        decompress_cycles_per_byte=1.5,
+        compress_cycles_per_byte=5.0,
+        fixed=25,
+    )
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if not 1 <= max_entries <= (1 << _MAX_INDEX_BITS):
+            raise ValueError(
+                f"max_entries must be in [1, {1 << _MAX_INDEX_BITS}], got "
+                f"{max_entries}"
+            )
+        self.max_entries = max_entries
+
+    def _build_dictionary(self, words: List[bytes]) -> List[bytes]:
+        counts = Counter(words)
+        # Only words that pay for themselves: a dictionary hit saves
+        # (32 - index_bits) bits per use but costs 32 bits of header.
+        profitable = [
+            word for word, count in counts.most_common(self.max_entries)
+            if count >= 2
+        ]
+        return profitable
+
+    def compress(self, data: bytes) -> bytes:
+        if not data:
+            return bytes((_TAG_RAW, 0, 0, 0, 0))
+        word_count = len(data) // _WORD
+        words = [
+            data[i * _WORD : (i + 1) * _WORD] for i in range(word_count)
+        ]
+        tail = data[word_count * _WORD :]
+
+        dictionary = self._build_dictionary(words)
+        index_bits = max(1, (max(1, len(dictionary)) - 1).bit_length())
+        index_of: Dict[bytes, int] = {
+            word: index for index, word in enumerate(dictionary)
+        }
+
+        writer = BitWriter()
+        for word in words:
+            index = index_of.get(word)
+            if index is not None:
+                writer.write_bit(1)
+                writer.write_bits(index, index_bits)
+            else:
+                writer.write_bit(0)
+                writer.write_bits(int.from_bytes(word, "big"), 32)
+        for byte in tail:
+            writer.write_bits(byte, 8)
+
+        header = bytearray((_TAG_DICT,))
+        header += len(data).to_bytes(4, "big")
+        header.append(index_bits)
+        header += len(dictionary).to_bytes(2, "big")
+        for word in dictionary:
+            header += word
+        payload = bytes(header) + writer.getvalue()
+        if len(payload) >= len(data) + 5:
+            return bytes((_TAG_RAW,)) + len(data).to_bytes(4, "big") + data
+        return payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        if len(payload) < 5:
+            raise CodecError("truncated dictionary header")
+        tag = payload[0]
+        original_length = int.from_bytes(payload[1:5], "big")
+        if tag == _TAG_RAW:
+            body = payload[5:]
+            if len(body) < original_length:
+                raise CodecError("raw body truncated")
+            return body[:original_length]
+        if tag != _TAG_DICT:
+            raise CodecError(f"unknown dictionary payload tag {tag}")
+        if len(payload) < 8:
+            raise CodecError("truncated dictionary header")
+        index_bits = payload[5]
+        if not 1 <= index_bits <= _MAX_INDEX_BITS:
+            raise CodecError(f"bad index width {index_bits}")
+        entry_count = int.from_bytes(payload[6:8], "big")
+        table_end = 8 + entry_count * _WORD
+        if len(payload) < table_end:
+            raise CodecError("dictionary table truncated")
+        dictionary = [
+            payload[8 + i * _WORD : 8 + (i + 1) * _WORD]
+            for i in range(entry_count)
+        ]
+
+        reader = BitReader(payload[table_end:])
+        out = bytearray()
+        word_count = original_length // _WORD
+        tail_length = original_length % _WORD
+        try:
+            for _ in range(word_count):
+                if reader.read_bit():
+                    index = reader.read_bits(index_bits)
+                    if index >= len(dictionary):
+                        raise CodecError(
+                            f"dictionary index {index} out of range "
+                            f"({len(dictionary)} entries)"
+                        )
+                    out += dictionary[index]
+                else:
+                    out += reader.read_bits(32).to_bytes(_WORD, "big")
+            for _ in range(tail_length):
+                out.append(reader.read_bits(8))
+        except BitIOError as exc:
+            raise CodecError(f"dictionary stream truncated: {exc}") from exc
+        return bytes(out)

@@ -1,0 +1,184 @@
+"""Canonical Huffman codec over bytes.
+
+Canonical Huffman is the workhorse of embedded code compressors (IBM
+CodePack [14 in the paper] is Huffman-based): the code table serialises as
+just one code length per symbol, and decoding is table-driven.  The payload
+layout is::
+
+    [1 byte: format tag]
+    tag 0: raw passthrough       -> [4 bytes length][raw bytes]
+    tag 1: single-symbol stream  -> [1 byte symbol][4 bytes count]
+    tag 2: huffman               -> [4 bytes original length]
+                                    [256 x 4-bit code lengths (128 bytes)]
+                                    [bit stream]
+
+Raw passthrough keeps the codec safe on incompressible input (the header
+costs 5 bytes but correctness is preserved — ``decompress(compress(x)) ==
+x`` always).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from .bitio import BitIOError, BitReader, BitWriter
+from .codec import Codec, CodecCosts, CodecError, register_codec
+
+_TAG_RAW = 0
+_TAG_SINGLE = 1
+_TAG_HUFFMAN = 2
+
+#: Code lengths are stored in 4 bits, so depth must not exceed 15.
+_MAX_CODE_LENGTH = 15
+
+
+def _code_lengths(frequencies: Counter) -> Dict[int, int]:
+    """Compute Huffman code lengths, depth-limited to 15 bits.
+
+    Depth limiting uses the standard heuristic of flattening frequencies
+    (sqrt) and recomputing until the limit holds; inputs are <= 64 KiB so
+    two rounds always suffice in practice.
+    """
+    freqs: Dict[int, int] = dict(frequencies)
+    while True:
+        lengths = _huffman_depths(freqs)
+        if not lengths or max(lengths.values()) <= _MAX_CODE_LENGTH:
+            return lengths
+        freqs = {
+            symbol: max(1, int(count ** 0.5))
+            for symbol, count in freqs.items()
+        }
+
+
+def _huffman_depths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    if len(frequencies) == 1:
+        symbol = next(iter(frequencies))
+        return {symbol: 1}
+    heap: List[Tuple[int, int, List[int]]] = []
+    for order, (symbol, count) in enumerate(sorted(frequencies.items())):
+        heap.append((count, order, [symbol]))
+    heapq.heapify(heap)
+    depths: Dict[int, int] = {symbol: 0 for symbol in frequencies}
+    tiebreak = len(heap)
+    while len(heap) > 1:
+        count_a, _, symbols_a = heapq.heappop(heap)
+        count_b, _, symbols_b = heapq.heappop(heap)
+        for symbol in symbols_a + symbols_b:
+            depths[symbol] += 1
+        heapq.heappush(
+            heap, (count_a + count_b, tiebreak, symbols_a + symbols_b)
+        )
+        tiebreak += 1
+    return depths
+
+
+def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codes: map symbol -> (code, length)."""
+    ordered = sorted(
+        (length, symbol) for symbol, length in lengths.items() if length
+    )
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for length, symbol in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+@register_codec("huffman")
+class HuffmanCodec(Codec):
+    """Canonical Huffman over individual bytes."""
+
+    costs = CodecCosts(
+        decompress_cycles_per_byte=6.0,
+        compress_cycles_per_byte=12.0,
+        fixed=60,
+    )
+
+    def compress(self, data: bytes) -> bytes:
+        if not data:
+            return bytes((_TAG_RAW, 0, 0, 0, 0))
+        frequencies = Counter(data)
+        if len(frequencies) == 1:
+            symbol = data[0]
+            return bytes((_TAG_SINGLE, symbol)) + len(data).to_bytes(4, "big")
+
+        lengths = _code_lengths(frequencies)
+        codes = _canonical_codes(lengths)
+        writer = BitWriter()
+        for byte in data:
+            code, length = codes[byte]
+            writer.write_bits(code, length)
+        bitstream = writer.getvalue()
+
+        header = bytearray((_TAG_HUFFMAN,))
+        header += len(data).to_bytes(4, "big")
+        for pair_start in range(0, 256, 2):
+            high = lengths.get(pair_start, 0)
+            low = lengths.get(pair_start + 1, 0)
+            header.append((high << 4) | low)
+        payload = bytes(header) + bitstream
+        if len(payload) >= len(data) + 5:
+            return bytes((_TAG_RAW,)) + len(data).to_bytes(4, "big") + data
+        return payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        if not payload:
+            raise CodecError("empty huffman payload")
+        tag = payload[0]
+        if tag == _TAG_RAW:
+            if len(payload) < 5:
+                raise CodecError("truncated raw header")
+            length = int.from_bytes(payload[1:5], "big")
+            body = payload[5 : 5 + length]
+            if len(body) != length:
+                raise CodecError(
+                    f"raw body truncated: expected {length}, got {len(body)}"
+                )
+            return body
+        if tag == _TAG_SINGLE:
+            if len(payload) < 6:
+                raise CodecError("truncated single-symbol header")
+            return bytes((payload[1],)) * int.from_bytes(payload[2:6], "big")
+        if tag != _TAG_HUFFMAN:
+            raise CodecError(f"unknown huffman payload tag {tag}")
+        if len(payload) < 5 + 128:
+            raise CodecError("truncated huffman header")
+
+        original_length = int.from_bytes(payload[1:5], "big")
+        lengths: Dict[int, int] = {}
+        for pair_start in range(0, 256, 2):
+            packed = payload[5 + pair_start // 2]
+            if packed >> 4:
+                lengths[pair_start] = packed >> 4
+            if packed & 0xF:
+                lengths[pair_start + 1] = packed & 0xF
+        codes = _canonical_codes(lengths)
+        decode_table: Dict[Tuple[int, int], int] = {
+            (code, length): symbol
+            for symbol, (code, length) in codes.items()
+        }
+
+        reader = BitReader(payload[5 + 128 :])
+        out = bytearray()
+        try:
+            while len(out) < original_length:
+                code = 0
+                length = 0
+                while True:
+                    code = (code << 1) | reader.read_bit()
+                    length += 1
+                    if length > _MAX_CODE_LENGTH:
+                        raise CodecError("invalid huffman code in stream")
+                    symbol = decode_table.get((code, length))
+                    if symbol is not None:
+                        out.append(symbol)
+                        break
+        except BitIOError as exc:
+            raise CodecError(f"huffman stream truncated: {exc}") from exc
+        return bytes(out)

@@ -1,0 +1,126 @@
+"""LZ77 codec with a small sliding window.
+
+A classic (offset, length, literal) scheme sized for basic blocks: 4 KiB
+window, 3..66 byte matches, hash-chain match finder.  Token stream:
+
+* literal:  flag bit 0, then 8 bits of the byte;
+* match:    flag bit 1, then 12-bit offset-1, then 6-bit (length-3).
+
+Payload layout: ``[1 byte tag][4 bytes original length][bit stream]`` with
+the usual raw-passthrough fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .bitio import BitIOError, BitReader, BitWriter
+from .codec import Codec, CodecCosts, CodecError, register_codec
+
+_TAG_RAW = 0
+_TAG_LZ = 1
+
+_WINDOW = 4096
+_MIN_MATCH = 3
+_MAX_MATCH = _MIN_MATCH + 63  # 6-bit length field
+_OFFSET_BITS = 12
+_LENGTH_BITS = 6
+
+
+@register_codec("lz77")
+class LZ77Codec(Codec):
+    """Sliding-window LZ77 with greedy hash-chain matching."""
+
+    costs = CodecCosts(
+        decompress_cycles_per_byte=2.0,
+        compress_cycles_per_byte=14.0,
+        fixed=30,
+    )
+
+    def compress(self, data: bytes) -> bytes:
+        if not data:
+            return bytes((_TAG_RAW, 0, 0, 0, 0))
+        writer = BitWriter()
+        chains: Dict[bytes, List[int]] = {}
+        position = 0
+        length = len(data)
+        while position < length:
+            best_length = 0
+            best_offset = 0
+            if position + _MIN_MATCH <= length:
+                key = data[position : position + _MIN_MATCH]
+                for candidate in reversed(chains.get(key, ())):
+                    if position - candidate > _WINDOW:
+                        break
+                    match_length = _MIN_MATCH
+                    limit = min(_MAX_MATCH, length - position)
+                    while (
+                        match_length < limit
+                        and data[candidate + match_length]
+                        == data[position + match_length]
+                    ):
+                        match_length += 1
+                    if match_length > best_length:
+                        best_length = match_length
+                        best_offset = position - candidate
+                        if match_length == _MAX_MATCH:
+                            break
+            if best_length >= _MIN_MATCH:
+                writer.write_bit(1)
+                writer.write_bits(best_offset - 1, _OFFSET_BITS)
+                writer.write_bits(best_length - _MIN_MATCH, _LENGTH_BITS)
+                advance = best_length
+            else:
+                writer.write_bit(0)
+                writer.write_bits(data[position], 8)
+                advance = 1
+            for step in range(advance):
+                index = position + step
+                if index + _MIN_MATCH <= length:
+                    chains.setdefault(
+                        data[index : index + _MIN_MATCH], []
+                    ).append(index)
+            position += advance
+
+        payload = (
+            bytes((_TAG_LZ,))
+            + len(data).to_bytes(4, "big")
+            + writer.getvalue()
+        )
+        if len(payload) >= len(data) + 5:
+            return bytes((_TAG_RAW,)) + len(data).to_bytes(4, "big") + data
+        return payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        if len(payload) < 5:
+            raise CodecError("truncated lz77 header")
+        tag = payload[0]
+        original_length = int.from_bytes(payload[1:5], "big")
+        body = payload[5:]
+        if tag == _TAG_RAW:
+            if len(body) < original_length:
+                raise CodecError("raw body truncated")
+            return body[:original_length]
+        if tag != _TAG_LZ:
+            raise CodecError(f"unknown lz77 payload tag {tag}")
+
+        reader = BitReader(body)
+        out = bytearray()
+        try:
+            while len(out) < original_length:
+                if reader.read_bit():
+                    offset = reader.read_bits(_OFFSET_BITS) + 1
+                    match_length = reader.read_bits(_LENGTH_BITS) + _MIN_MATCH
+                    if offset > len(out):
+                        raise CodecError(
+                            f"lz77 offset {offset} beyond output "
+                            f"({len(out)} bytes)"
+                        )
+                    start = len(out) - offset
+                    for step in range(match_length):
+                        out.append(out[start + step])
+                else:
+                    out.append(reader.read_bits(8))
+        except BitIOError as exc:
+            raise CodecError(f"lz77 stream truncated: {exc}") from exc
+        return bytes(out)

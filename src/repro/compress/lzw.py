@@ -1,0 +1,125 @@
+"""LZW codec with variable-width codes.
+
+Dictionary coders adapt to the repeated instruction sequences embedded
+binaries are full of.  This implementation uses the classic greedy LZW with
+codes growing from 9 bits as the dictionary fills, capped at 16 bits (the
+dictionary freezes at 65536 entries, appropriate for basic-block-sized
+inputs).
+
+Payload layout: ``[1 byte tag][4 bytes original length][bit stream]`` with a
+raw-passthrough tag for incompressible input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .bitio import BitIOError, BitReader, BitWriter
+from .codec import Codec, CodecCosts, CodecError, register_codec
+
+_TAG_RAW = 0
+_TAG_LZW = 1
+
+_INITIAL_WIDTH = 9
+_MAX_WIDTH = 16
+
+
+@register_codec("lzw")
+class LZWCodec(Codec):
+    """Variable-width LZW over bytes."""
+
+    costs = CodecCosts(
+        decompress_cycles_per_byte=3.0,
+        compress_cycles_per_byte=10.0,
+        fixed=40,
+    )
+
+    def compress(self, data: bytes) -> bytes:
+        if not data:
+            return bytes((_TAG_RAW, 0, 0, 0, 0))
+        table: Dict[bytes, int] = {bytes((i,)): i for i in range(256)}
+        next_code = 256
+        width = _INITIAL_WIDTH
+        writer = BitWriter()
+
+        current = bytes((data[0],))
+        for byte in data[1:]:
+            extended = current + bytes((byte,))
+            if extended in table:
+                current = extended
+                continue
+            writer.write_bits(table[current], width)
+            if next_code < (1 << _MAX_WIDTH):
+                table[extended] = next_code
+                next_code += 1
+                if next_code > (1 << width) and width < _MAX_WIDTH:
+                    width += 1
+            current = bytes((byte,))
+        writer.write_bits(table[current], width)
+
+        payload = (
+            bytes((_TAG_LZW,))
+            + len(data).to_bytes(4, "big")
+            + writer.getvalue()
+        )
+        if len(payload) >= len(data) + 5:
+            return bytes((_TAG_RAW,)) + len(data).to_bytes(4, "big") + data
+        return payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        if not payload:
+            raise CodecError("empty lzw payload")
+        tag = payload[0]
+        if len(payload) < 5:
+            raise CodecError("truncated lzw header")
+        original_length = int.from_bytes(payload[1:5], "big")
+        body = payload[5:]
+        if tag == _TAG_RAW:
+            if len(body) < original_length:
+                raise CodecError("raw body truncated")
+            return body[:original_length]
+        if tag != _TAG_LZW:
+            raise CodecError(f"unknown lzw payload tag {tag}")
+        if original_length == 0:
+            return b""
+
+        table: List[bytes] = [bytes((i,)) for i in range(256)]
+        width = _INITIAL_WIDTH
+        reader = BitReader(body)
+        out = bytearray()
+        try:
+            code = reader.read_bits(width)
+        except BitIOError as exc:
+            raise CodecError(f"lzw stream truncated: {exc}") from exc
+        if code >= len(table):
+            raise CodecError(f"invalid initial lzw code {code}")
+        previous = table[code]
+        out += previous
+
+        while len(out) < original_length:
+            # Mirror the encoder's width growth: at the encoder's matching
+            # emission its next_code equals our len(table) + 1, and it has
+            # bumped the width whenever that exceeds the current capacity.
+            next_code = len(table) + 1
+            if next_code > (1 << width) and width < _MAX_WIDTH:
+                width += 1
+            try:
+                code = reader.read_bits(width)
+            except BitIOError as exc:
+                raise CodecError(f"lzw stream truncated: {exc}") from exc
+            if code < len(table):
+                entry = table[code]
+            elif code == len(table):
+                entry = previous + previous[:1]
+            else:
+                raise CodecError(f"invalid lzw code {code}")
+            out += entry
+            if len(table) < (1 << _MAX_WIDTH):
+                table.append(previous + entry[:1])
+            previous = entry
+        if len(out) != original_length:
+            raise CodecError(
+                f"lzw length mismatch: expected {original_length}, got "
+                f"{len(out)}"
+            )
+        return bytes(out)

@@ -1,0 +1,126 @@
+"""Run-length and move-to-front codecs.
+
+RLE alone is weak on code but is the cheapest possible decompressor — it
+anchors the latency end of the E4 codec ablation.  MTF+RLE models the
+"transform then cheap-code" family; on register-dense instruction bytes it
+lands between RLE and Huffman.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .codec import Codec, CodecCosts, CodecError, register_codec
+
+_TAG_RAW = 0
+_TAG_RLE = 1
+
+
+@register_codec("rle")
+class RLECodec(Codec):
+    """Byte run-length coding: ``[byte][count]`` pairs.
+
+    Runs cap at 255; the raw-passthrough tag keeps run-free inputs from
+    doubling in size.
+    """
+
+    costs = CodecCosts(
+        decompress_cycles_per_byte=1.0,
+        compress_cycles_per_byte=2.0,
+        fixed=10,
+    )
+
+    def compress(self, data: bytes) -> bytes:
+        if not data:
+            return bytes((_TAG_RAW, 0, 0, 0, 0))
+        out = bytearray((_TAG_RLE,))
+        out += len(data).to_bytes(4, "big")
+        position = 0
+        while position < len(data):
+            byte = data[position]
+            run = 1
+            while (
+                position + run < len(data)
+                and data[position + run] == byte
+                and run < 255
+            ):
+                run += 1
+            out.append(byte)
+            out.append(run)
+            position += run
+        if len(out) >= len(data) + 5:
+            return bytes((_TAG_RAW,)) + len(data).to_bytes(4, "big") + data
+        return bytes(out)
+
+    def decompress(self, payload: bytes) -> bytes:
+        if len(payload) < 5:
+            raise CodecError("truncated rle header")
+        tag = payload[0]
+        original_length = int.from_bytes(payload[1:5], "big")
+        body = payload[5:]
+        if tag == _TAG_RAW:
+            if len(body) < original_length:
+                raise CodecError("raw body truncated")
+            return body[:original_length]
+        if tag != _TAG_RLE:
+            raise CodecError(f"unknown rle payload tag {tag}")
+        if len(body) % 2:
+            raise CodecError("rle body must be (byte, count) pairs")
+        out = bytearray()
+        for index in range(0, len(body), 2):
+            byte, run = body[index], body[index + 1]
+            if run == 0:
+                raise CodecError("zero-length rle run")
+            out += bytes((byte,)) * run
+        if len(out) != original_length:
+            raise CodecError(
+                f"rle length mismatch: expected {original_length}, got "
+                f"{len(out)}"
+            )
+        return bytes(out)
+
+
+@register_codec("mtf-rle")
+class MTFRLECodec(Codec):
+    """Move-to-front transform followed by RLE on the rank stream.
+
+    MTF concentrates frequently recurring bytes (opcodes, register pairs)
+    into small ranks with long zero runs, which RLE then collapses.
+    """
+
+    costs = CodecCosts(
+        decompress_cycles_per_byte=2.5,
+        compress_cycles_per_byte=4.0,
+        fixed=15,
+    )
+
+    def __init__(self) -> None:
+        self._rle = RLECodec()
+
+    @staticmethod
+    def _mtf_encode(data: bytes) -> bytes:
+        alphabet: List[int] = list(range(256))
+        out = bytearray()
+        for byte in data:
+            rank = alphabet.index(byte)
+            out.append(rank)
+            alphabet.pop(rank)
+            alphabet.insert(0, byte)
+        return bytes(out)
+
+    @staticmethod
+    def _mtf_decode(ranks: bytes) -> bytes:
+        alphabet: List[int] = list(range(256))
+        out = bytearray()
+        for rank in ranks:
+            byte = alphabet[rank]
+            out.append(byte)
+            alphabet.pop(rank)
+            alphabet.insert(0, byte)
+        return bytes(out)
+
+    def compress(self, data: bytes) -> bytes:
+        return self._rle.compress(self._mtf_encode(data))
+
+    def decompress(self, payload: bytes) -> bytes:
+        return self._mtf_decode(self._rle.decompress(payload))

@@ -1,0 +1,528 @@
+"""The code-compression manager: the paper's three-thread runtime.
+
+:class:`CodeCompressionManager` ties everything together the way Figure 4
+of the paper draws it:
+
+* the **execution thread** (the :class:`~repro.runtime.machine.Machine`)
+  runs basic blocks;
+* the **decompression thread** (a
+  :class:`~repro.runtime.threads.BackgroundWorker`) materialises
+  decompressed copies ahead of the execution thread according to the
+  configured pre-decompression policy;
+* the **compression thread** (another worker) trails behind, deleting
+  decompressed copies the k-edge policy expires and patching the branches
+  recorded in the remember sets.
+
+Faults follow Section 5's scheme exactly: fetching a block with no
+decompressed copy raises the memory-protection exception; the handler
+decompresses into the separate area and patches the branch that jumped
+there.  Re-entering a resident block whose incoming branch still aims at
+the compressed area costs a *patch fault* (handler entry + patch, no
+decompression) — that is Figure 5's steps (5)-(6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..cfg.builder import ProgramCFG
+from ..cfg.profile import EdgeProfile
+from ..compress.codec import get_codec
+from ..memory.image import CodeImage, InPlaceImage, SeparateAreaImage
+from ..memory.remember_set import BranchSite, RememberSets
+from ..runtime.events import EventKind, EventLog
+from ..runtime.machine import Machine
+from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
+from ..runtime.threads import BackgroundWorker
+from ..strategies.base import CompressionPolicy, DecompressionPolicy
+from ..strategies.budget import MemoryBudget
+from ..strategies.kedge import KEdgeCompression, NeverRecompress
+from ..strategies.ondemand import OnDemandDecompression
+from ..strategies.predecompress import PreDecompressAll, PreDecompressSingle
+from ..strategies.predictor import make_predictor
+from .config import SimulationConfig
+
+#: Cap on the stored block trace (the full trace of a long run can be
+#: millions of entries; metrics never need more than this).
+_TRACE_CAP = 2_000_000
+
+
+class CodeCompressionManager:
+    """Simulates one program under one configuration.
+
+    Typical use::
+
+        cfg = build_cfg(assemble(source, "app"))
+        result = CodeCompressionManager(cfg, SimulationConfig(
+            codec="lzw", decompression="pre-single",
+            k_compress=4, k_decompress=2,
+        )).run()
+        print(result.render())
+    """
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        config: Optional[SimulationConfig] = None,
+        compression_policy: Optional[CompressionPolicy] = None,
+        decompression_policy: Optional[DecompressionPolicy] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.config = config or SimulationConfig()
+        self._compression_override = compression_policy
+        self._decompression_override = decompression_policy
+        self.codec = get_codec(self.config.codec)
+        self.machine = Machine(
+            cfg,
+            data_words=self.config.data_words,
+            max_steps=self.config.max_steps,
+        )
+        self.log = EventLog(enabled=self.config.trace_events)
+        self.counters = Counters()
+        self.footprint = FootprintTimeline()
+        self.profile = EdgeProfile()  # online access pattern, always kept
+        self.now = 0
+        self.execution_cycles = 0
+
+        self._uncompressed_mode = self.config.decompression == "none"
+
+        # ---- compression units -------------------------------------
+        if self.config.granularity == "function":
+            self._unit_of: Dict[int, int] = dict(cfg.function_of)
+            self._unit_blocks: Dict[int, Set[int]] = {
+                unit: set(blocks) for unit, blocks in cfg.functions.items()
+            }
+        else:
+            self._unit_of = {
+                block.block_id: block.block_id for block in cfg.blocks
+            }
+            self._unit_blocks = {
+                block.block_id: {block.block_id} for block in cfg.blocks
+            }
+
+        if self._uncompressed_mode:
+            self.image: Optional[CodeImage] = None
+        elif self.config.image_scheme == "inplace":
+            self.image = InPlaceImage(cfg, self.codec)
+        else:
+            self.image = SeparateAreaImage(cfg, self.codec)
+
+        # ---- policies ----------------------------------------------
+        # Policy instances may be injected for ablations (E12); the
+        # config-driven defaults implement the paper's algorithms.
+        if self._compression_override is not None:
+            self.compression: CompressionPolicy = (
+                self._compression_override
+            )
+        elif self.config.k_compress is None:
+            self.compression = NeverRecompress()
+        else:
+            self.compression = KEdgeCompression(self.config.k_compress)
+        self.compression.bind(self)
+
+        if self._decompression_override is not None:
+            self.decompression: DecompressionPolicy = (
+                self._decompression_override
+            )
+        elif self.config.decompression == "pre-all":
+            self.decompression = PreDecompressAll(
+                self.config.k_decompress
+            )
+        elif self.config.decompression == "pre-single":
+            self.decompression = PreDecompressSingle(
+                self.config.k_decompress,
+                make_predictor(self.config.predictor, self.config.profile),
+            )
+        else:
+            self.decompression = OnDemandDecompression()
+        self.decompression.bind(self)
+
+        self.budget: Optional[MemoryBudget] = None
+        if self.config.memory_budget is not None:
+            self.budget = MemoryBudget(
+                self.config.memory_budget, self.config.eviction
+            )
+
+        # ---- background threads (Figure 4) -------------------------
+        self.decompress_worker = BackgroundWorker(
+            "decompression", contention=self.config.contention
+        )
+        self.compress_worker = BackgroundWorker(
+            "compression", contention=self.config.contention
+        )
+
+        # ---- residency bookkeeping ---------------------------------
+        self.remember = RememberSets()
+        self._ready_at: Dict[int, int] = {}  # unit -> completion cycle
+        self._used_since_decompress: Dict[int, bool] = {}
+        self._pending_predictions: Deque[Tuple[int, int]] = deque()
+        self._blocks_entered = 0
+        self.block_trace: List[int] = []
+        self._current_block: Optional[int] = None
+
+    # ==================================================================
+    # ManagerView protocol (what policies can see)
+    # ==================================================================
+
+    def unit_of(self, block_id: int) -> int:
+        """Compression unit owning ``block_id``."""
+        return self._unit_of[block_id]
+
+    def unit_blocks(self, unit_id: int) -> Set[int]:
+        """Blocks belonging to ``unit_id``."""
+        return set(self._unit_blocks[unit_id])
+
+    def resident_units(self) -> Set[int]:
+        """Units currently holding (or receiving) a decompressed copy."""
+        return set(self._ready_at)
+
+    def is_unit_resident(self, unit_id: int) -> bool:
+        """True when ``unit_id`` is decompressed or being decompressed."""
+        return unit_id in self._ready_at
+
+    # ==================================================================
+    # Unit geometry helpers
+    # ==================================================================
+
+    def unit_uncompressed_size(self, unit_id: int) -> int:
+        """Uncompressed bytes of all blocks in ``unit_id``."""
+        return sum(
+            self.cfg.block(block_id).size_bytes
+            for block_id in self._unit_blocks[unit_id]
+        )
+
+    def _unit_decompress_latency(self, unit_id: int) -> int:
+        return self.codec.costs.decompress_latency(
+            self.unit_uncompressed_size(unit_id)
+        )
+
+    def _footprint_now(self) -> int:
+        if self.image is None:
+            return self.cfg.total_size_bytes()
+        return self.image.footprint_bytes
+
+    def _sample_footprint(self) -> None:
+        self.footprint.record(self.now, self._footprint_now())
+
+    # ==================================================================
+    # Decompression / release mechanics
+    # ==================================================================
+
+    def _materialise_unit(self, unit_id: int) -> None:
+        """Allocate and mark every block of ``unit_id`` decompressed."""
+        assert self.image is not None
+        for block_id in sorted(self._unit_blocks[unit_id]):
+            self.image.decompress(block_id)
+            # Section 2 traffic model: materialisation streams the
+            # compressed payload out of the target memory.
+            self.counters.target_memory_bytes += (
+                self.image.block(block_id).compressed_size
+            )
+        self.counters.decompressions += 1
+        self._used_since_decompress[unit_id] = False
+        self.compression.on_unit_decompressed(unit_id)
+        if self.budget is not None:
+            self.budget.on_unit_decompressed(unit_id)
+
+    def _enforce_budget(self, unit_id: int, protected: Set[int]) -> None:
+        """Evict units (LRU or configured policy) so ``unit_id`` fits."""
+        if self.budget is None or self.image is None:
+            return
+        victims = self.budget.select_victims(
+            needed_bytes=self.unit_uncompressed_size(unit_id),
+            current_footprint=self.image.footprint_bytes,
+            resident=self.resident_units(),
+            protected=protected | {unit_id},
+            size_of=self.unit_uncompressed_size,
+        )
+        for victim in victims:
+            self._release_unit(victim, EventKind.EVICT)
+            self.counters.evictions += 1
+
+    def _release_unit(self, unit_id: int, reason: EventKind) -> None:
+        """Delete ``unit_id``'s decompressed copy (Section 5: cheap —
+        drop the copy, patch the remembered branches)."""
+        assert self.image is not None
+        self._ready_at.pop(unit_id, None)
+        self.decompress_worker.cancel(unit_id, self.now)
+        patches = 0
+        for block_id in sorted(self._unit_blocks[unit_id]):
+            if self.image.is_resident(block_id):
+                self.image.release(block_id)
+            patches += len(self.remember.drop_target(block_id))
+            self.remember.drop_sites_in_block(block_id)
+        self.counters.patches += patches
+        self.counters.recompressions += 1
+        if not self._used_since_decompress.pop(unit_id, True):
+            self.counters.wasted_decompressions += 1
+        # Patching runs on the background compression thread.
+        self.compress_worker.schedule(
+            self.now,
+            unit_id,
+            self.config.patch_cycles * patches,
+        )
+        self.compress_worker.retire_completed(self.now)
+        self.compression.on_unit_released(unit_id)
+        if self.budget is not None:
+            self.budget.on_unit_released(unit_id)
+        self.log.emit(self.now, reason, unit_id, patches)
+        self._sample_footprint()
+
+    def _schedule_predecompression(self, block_id: int) -> None:
+        """Queue ``block_id``'s unit on the decompression thread.
+
+        Requests are shed when the thread's backlog is full — the block
+        simply stays compressed and, if actually reached, faults on demand.
+        """
+        unit_id = self.unit_of(block_id)
+        if self.is_unit_resident(unit_id):
+            return
+        if (
+            self.decompress_worker.backlog()
+            >= self.config.max_prefetch_backlog
+        ):
+            self.counters.dropped_prefetches += 1
+            return
+        self._enforce_budget(unit_id, protected=self._protected_units())
+        self._materialise_unit(unit_id)
+        job = self.decompress_worker.schedule(
+            self.now, unit_id, self._unit_decompress_latency(unit_id)
+        )
+        self._ready_at[unit_id] = job.completes_at
+        self.counters.background_decompress_cycles += job.latency
+        self.log.emit(self.now, EventKind.DECOMPRESS_START, unit_id)
+        self._sample_footprint()
+
+    def _protected_units(self) -> Set[int]:
+        if self._current_block is None:
+            return set()
+        return {self.unit_of(self._current_block)}
+
+    def _ensure_executable(self, block_id: int, came_from: Optional[int]) -> None:
+        """Make ``block_id`` runnable, charging faults/stalls as needed.
+
+        Implements the Section 5 exception handler plus the
+        pre-decompression wait:
+
+        * not resident  -> full fault: handler + synchronous decompression;
+        * resident but decompression still in flight -> stall for the
+          remainder;
+        * resident and ready but the incoming branch still targets the
+          compressed area -> patch fault (handler + patch only).
+        """
+        if self.image is None:
+            return
+        unit_id = self.unit_of(block_id)
+        # A branch site can only be patched if the block holding the branch
+        # still has a decompressed copy; otherwise the transfer goes via
+        # the compressed-area address and faults (re-patched next time).
+        site = None
+        if came_from is not None and self.is_unit_resident(
+            self.unit_of(came_from)
+        ):
+            terminator_index = len(self.cfg.block(came_from)) - 1
+            site = BranchSite(came_from, terminator_index)
+
+        if not self.is_unit_resident(unit_id):
+            # Full memory-protection fault (Figure 5 steps 2, 4, 9).
+            self.counters.faults += 1
+            self.log.emit(self.now, EventKind.FAULT, block_id)
+            self._enforce_budget(
+                unit_id,
+                protected=self._protected_units()
+                | ({self.unit_of(came_from)} if came_from is not None
+                   else set()),
+            )
+            self._materialise_unit(unit_id)
+            self._sample_footprint()
+            latency = self._unit_decompress_latency(unit_id)
+            stall = self.config.fault_cycles + latency
+            self.now += stall
+            self.counters.stall_cycles += stall
+            self.counters.stalls += 1
+            self._ready_at[unit_id] = self.now
+            self.log.emit(self.now, EventKind.DECOMPRESS_DONE, unit_id,
+                          stall)
+            if site is not None:
+                self.remember.add_reference(block_id, site)
+                self.counters.patches += 1
+                self.log.emit(self.now, EventKind.PATCH, block_id)
+            return
+
+        ready_at = self._ready_at.get(unit_id, 0)
+        if ready_at > self.now:
+            # Pre-decompression still in flight: wait out the remainder.
+            stall = ready_at - self.now
+            self.now = ready_at
+            self.counters.stall_cycles += stall
+            self.counters.stalls += 1
+            self.log.emit(self.now, EventKind.STALL, block_id, stall)
+        self.decompress_worker.retire_completed(self.now)
+
+        arrived_unpatched = came_from is not None and (
+            site is None or not self.remember.points_to(site, block_id)
+        )
+        if arrived_unpatched:
+            # Patch fault: the copy exists but the branch that got us here
+            # still aims at the compressed area (Figure 5 steps 5-6).
+            self.counters.faults += 1
+            self.now += self.config.fault_cycles
+            self.counters.stall_cycles += self.config.fault_cycles
+            if site is not None:
+                self.remember.add_reference(block_id, site)
+                self.counters.patches += 1
+            self.log.emit(self.now, EventKind.PATCH, block_id)
+
+    # ==================================================================
+    # Main loop
+    # ==================================================================
+
+    def run(self, max_blocks: Optional[int] = None) -> SimulationResult:
+        """Execute the program to completion (or ``max_blocks``).
+
+        Returns the :class:`~repro.runtime.metrics.SimulationResult` with
+        all cycle and memory metrics filled in.
+        """
+        entry = self.cfg.entry
+        self._sample_footprint()
+
+        # Pre-decompression may warm blocks before execution starts.
+        if self.image is not None and self.decompression.uses_thread:
+            for block_id in self.decompression.on_program_start(
+                entry.block_id
+            ):
+                self._schedule_predecompression(block_id)
+
+        self._ensure_executable(entry.block_id, came_from=None)
+        current = entry
+        self.profile.record_entry(entry.block_id)
+
+        while True:
+            self._on_block_enter(current.block_id)
+            outcome = self.machine.run_block(current)
+            self.now += outcome.cycles
+            self.execution_cycles += outcome.cycles
+            self.decompress_worker.retire_completed(self.now)
+
+            if outcome.next_block_id is None:
+                break
+            if max_blocks is not None and self._blocks_entered >= max_blocks:
+                break
+
+            next_id = outcome.next_block_id
+            self._on_edge(current.block_id, next_id)
+            self._ensure_executable(next_id, came_from=current.block_id)
+            current = self.cfg.block(next_id)
+
+        # Account contention: background busy cycles partially steal the
+        # execution thread when configured.
+        contention = (
+            self.decompress_worker.contention_cycles()
+            + self.compress_worker.contention_cycles()
+        )
+        self.now += contention
+        self.counters.stall_cycles += contention
+        self.counters.background_compress_cycles = (
+            self.compress_worker.busy_cycles
+        )
+        self._sample_footprint()
+
+        return SimulationResult(
+            program=self.cfg.name,
+            strategy=self.config.strategy_name,
+            codec=self.config.codec,
+            k_compress=self.config.k_compress,
+            k_decompress=(
+                self.config.k_decompress
+                if self.config.decompression in ("pre-all", "pre-single")
+                else None
+            ),
+            total_cycles=self.now,
+            execution_cycles=self.execution_cycles,
+            counters=self.counters,
+            footprint=self.footprint,
+            uncompressed_size=self.cfg.total_size_bytes(),
+            compressed_size=(
+                self.image.compressed_image_size
+                if self.image is not None
+                else self.cfg.total_size_bytes()
+            ),
+            registers=list(self.machine.registers),
+            block_trace=self.block_trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Loop steps
+    # ------------------------------------------------------------------
+
+    def _on_block_enter(self, block_id: int) -> None:
+        unit_id = self.unit_of(block_id)
+        self.counters.blocks_executed += 1
+        self._blocks_entered += 1
+        if self.config.record_trace and len(self.block_trace) < _TRACE_CAP:
+            self.block_trace.append(block_id)
+        self.log.emit(self.now, EventKind.BLOCK_ENTER, block_id)
+
+        self._used_since_decompress[unit_id] = True
+        self.compression.on_unit_enter(unit_id)
+        if self.budget is not None:
+            self.budget.on_unit_enter(unit_id)
+        if self.image is None:
+            # Uncompressed system: every entry streams the block's full
+            # bytes from the target memory (Section 2 traffic model).
+            self.counters.target_memory_bytes += (
+                self.cfg.block(block_id).size_bytes
+            )
+
+        # Prediction accuracy: did a pending pre-decompress-single guess
+        # come true within its window?
+        if self._pending_predictions:
+            matched = None
+            for index, (predicted, expires) in enumerate(
+                self._pending_predictions
+            ):
+                if predicted == block_id:
+                    matched = index
+                    break
+            if matched is not None:
+                self.counters.correct_predictions += 1
+                del self._pending_predictions[matched]
+            while (
+                self._pending_predictions
+                and self._pending_predictions[0][1] <= self._blocks_entered
+            ):
+                self._pending_predictions.popleft()
+
+    def _on_edge(self, src_block: int, dst_block: int) -> None:
+        self._current_block = src_block
+        self.profile.record_edge(src_block, dst_block)
+        self.decompression.on_edge(src_block, dst_block)
+
+        if self.image is None:
+            return
+
+        src_unit = self.unit_of(src_block)
+        dst_unit = self.unit_of(dst_block)
+
+        # Compression side: tick the k-edge counters, expire units.
+        for expired in self.compression.on_edge(src_unit, dst_unit):
+            assert expired != dst_unit, (
+                "compression policy tried to release the destination unit"
+            )
+            if self.is_unit_resident(expired):
+                self._release_unit(expired, EventKind.RECOMPRESS)
+
+        # Decompression side: let the policy request pre-decompressions.
+        if self.decompression.uses_thread:
+            targets = self.decompression.on_block_exit(src_block)
+            choice = getattr(self.decompression, "last_choice", None)
+            if choice is not None:
+                self.counters.predictions += 1
+                self._pending_predictions.append(
+                    (choice,
+                     self._blocks_entered + self.config.k_decompress + 1)
+                )
+                self.log.emit(self.now, EventKind.PREDICT, choice)
+            for block_id in targets:
+                self._schedule_predecompression(block_id)

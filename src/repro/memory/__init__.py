@@ -1,0 +1,34 @@
+"""Memory system: images, allocator, remember sets, fragmentation metrics."""
+
+from .allocator import AllocationError, FreeHole, FreeListAllocator
+from .fragmentation import (
+    FragmentationReport,
+    FragmentationTimeline,
+    snapshot,
+)
+from .image import (
+    BlockImage,
+    CodeImage,
+    CompressedCodeFault,
+    ImageError,
+    InPlaceImage,
+    SeparateAreaImage,
+)
+from .remember_set import BranchSite, RememberSets
+
+__all__ = [
+    "AllocationError",
+    "BlockImage",
+    "BranchSite",
+    "CodeImage",
+    "CompressedCodeFault",
+    "FragmentationReport",
+    "FragmentationTimeline",
+    "FreeHole",
+    "FreeListAllocator",
+    "ImageError",
+    "InPlaceImage",
+    "RememberSets",
+    "SeparateAreaImage",
+    "snapshot",
+]

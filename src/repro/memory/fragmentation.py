@@ -1,0 +1,74 @@
+"""Fragmentation measurement helpers (experiment E8).
+
+The paper's Section 5 design is motivated by fragmentation avoidance; this
+module turns allocator state into the summary numbers the E8 benchmark
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .allocator import FreeListAllocator
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Point-in-time fragmentation summary of an allocator."""
+
+    used_bytes: int
+    free_bytes: int
+    extent_bytes: int
+    hole_count: int
+    largest_hole: int
+    external_fragmentation: float
+
+    @property
+    def occupancy(self) -> float:
+        """Used fraction of the touched address space."""
+        if self.extent_bytes == 0:
+            return 1.0
+        return self.used_bytes / self.extent_bytes
+
+
+def snapshot(allocator: FreeListAllocator) -> FragmentationReport:
+    """Capture a :class:`FragmentationReport` from ``allocator`` now."""
+    return FragmentationReport(
+        used_bytes=allocator.used_bytes,
+        free_bytes=allocator.free_bytes,
+        extent_bytes=allocator.extent_bytes,
+        hole_count=allocator.hole_count,
+        largest_hole=allocator.largest_hole,
+        external_fragmentation=allocator.external_fragmentation(),
+    )
+
+
+class FragmentationTimeline:
+    """Collects fragmentation snapshots over a run and aggregates them."""
+
+    def __init__(self) -> None:
+        self.samples: List[FragmentationReport] = []
+
+    def record(self, allocator: FreeListAllocator) -> None:
+        """Append a snapshot of ``allocator``."""
+        self.samples.append(snapshot(allocator))
+
+    @property
+    def peak_hole_count(self) -> int:
+        """Maximum simultaneous hole count seen."""
+        return max((s.hole_count for s in self.samples), default=0)
+
+    @property
+    def mean_external_fragmentation(self) -> float:
+        """Average external fragmentation across samples."""
+        if not self.samples:
+            return 0.0
+        return sum(s.external_fragmentation for s in self.samples) / len(
+            self.samples
+        )
+
+    @property
+    def peak_extent(self) -> int:
+        """Largest address-space extent seen."""
+        return max((s.extent_bytes for s in self.samples), default=0)

@@ -1,0 +1,335 @@
+"""Code memory images: the paper's separate-area scheme and an in-place
+alternative.
+
+Section 5 of the paper: "we start with a memory image wherein all basic
+blocks are stored in their compressed form.  Note that this is the minimum
+memory that is required to store the application code."  Decompressed copies
+go to "a separate location" while "the locations of the compressed blocks do
+not change during execution", so deleting a decompressed copy is cheap and
+the free space does not fragment the compressed area.
+
+:class:`SeparateAreaImage` implements exactly that scheme.
+:class:`InPlaceImage` implements the naive alternative the paper argues
+against (blocks expand/contract in a single area), so experiment E8 can
+measure the fragmentation difference.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..cfg.builder import ProgramCFG
+from ..compress.codec import (
+    Codec,
+    CodecError,
+    compress_for_image,
+    decompress_for_image,
+)
+from ..compress.stats import block_bytes
+from .allocator import AllocationError, FreeListAllocator
+
+
+class ImageError(RuntimeError):
+    """Raised on invalid image operations (double decompress, etc.)."""
+
+
+class CompressedCodeFault(Exception):
+    """The memory-protection exception of Section 5.
+
+    Raised when the execution thread fetches from a block that has no
+    decompressed copy; the simulator's exception handler reacts by
+    decompressing the block (on-demand decompression).
+    """
+
+    def __init__(self, block_id: int) -> None:
+        super().__init__(f"fetch from compressed block B{block_id}")
+        self.block_id = block_id
+
+
+@dataclass
+class BlockImage:
+    """Per-block storage state inside a code image."""
+
+    block_id: int
+    compressed_payload: bytes
+    compressed_addr: int
+    uncompressed_size: int
+    resident_addr: Optional[int] = None
+
+    @property
+    def compressed_size(self) -> int:
+        """Size of the compressed payload in bytes."""
+        return len(self.compressed_payload)
+
+    @property
+    def is_resident(self) -> bool:
+        """True when a decompressed copy currently exists."""
+        return self.resident_addr is not None
+
+
+class CodeImage(abc.ABC):
+    """Interface shared by the two image schemes."""
+
+    def __init__(self, cfg: ProgramCFG, codec: Codec) -> None:
+        self.cfg = cfg
+        self.codec = codec
+        self.blocks: List[BlockImage] = []
+        self.decompress_count = 0
+        self.release_count = 0
+        # Shared-model codecs (CodePack-style) train on the whole image
+        # at link time; the model's size is charged once, below.
+        if hasattr(codec, "train") and not getattr(
+            codec, "is_trained", True
+        ):
+            codec.train([block_bytes(block) for block in cfg.blocks])
+        self.model_overhead = int(
+            getattr(codec, "model_overhead_bytes", 0)
+        )
+
+    # -- abstract -------------------------------------------------------
+
+    @abc.abstractmethod
+    def decompress(self, block_id: int) -> int:
+        """Materialise a decompressed copy; returns its address.
+
+        Raises :class:`ImageError` if already resident and
+        :class:`~repro.memory.allocator.AllocationError` when the area is
+        bounded and full.
+        """
+
+    @abc.abstractmethod
+    def release(self, block_id: int) -> int:
+        """Delete the decompressed copy; returns the freed byte count."""
+
+    @property
+    @abc.abstractmethod
+    def footprint_bytes(self) -> int:
+        """Bytes of memory currently holding code (the paper's metric)."""
+
+    @property
+    @abc.abstractmethod
+    def address_space_bytes(self) -> int:
+        """Bytes of contiguous address space consumed, holes included."""
+
+    # -- shared ---------------------------------------------------------
+
+    def block(self, block_id: int) -> BlockImage:
+        """Storage state of ``block_id``."""
+        return self.blocks[block_id]
+
+    def is_resident(self, block_id: int) -> bool:
+        """True when ``block_id`` has a decompressed copy."""
+        return self.blocks[block_id].is_resident
+
+    def fetch_check(self, block_id: int) -> None:
+        """Raise :class:`CompressedCodeFault` when fetching compressed code."""
+        if not self.is_resident(block_id):
+            raise CompressedCodeFault(block_id)
+
+    def resident_blocks(self) -> Set[int]:
+        """Ids of all currently decompressed blocks."""
+        return {b.block_id for b in self.blocks if b.is_resident}
+
+    def resident_bytes(self) -> int:
+        """Total uncompressed bytes of resident copies."""
+        return sum(
+            b.uncompressed_size for b in self.blocks if b.is_resident
+        )
+
+    @property
+    def compressed_image_size(self) -> int:
+        """Total compressed payload bytes (plus the shared codec model,
+        if any) — the paper's minimum image."""
+        return (
+            sum(b.compressed_size for b in self.blocks)
+            + self.model_overhead
+        )
+
+    @property
+    def uncompressed_image_size(self) -> int:
+        """Total uncompressed code bytes — the no-compression image."""
+        return sum(b.uncompressed_size for b in self.blocks)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Whole-image compressed/uncompressed ratio."""
+        total = self.uncompressed_image_size
+        if total == 0:
+            return 1.0
+        return self.compressed_image_size / total
+
+    def decompress_latency(self, block_id: int) -> int:
+        """Modelled cycles to decompress ``block_id``."""
+        return self.codec.costs.decompress_latency(
+            self.blocks[block_id].uncompressed_size
+        )
+
+    def verify_block(self, block_id: int) -> bool:
+        """Check payload integrity: decompressing yields the block bytes.
+
+        Returns False (instead of raising) when the payload is corrupt or
+        undecodable, so integrity scans can report rather than abort.
+        """
+        block = self.blocks[block_id]
+        original = block_bytes(self.cfg.block(block_id))
+        try:
+            recovered = decompress_for_image(
+                self.codec, block.compressed_payload,
+                block.uncompressed_size,
+            )
+        except CodecError:
+            return False
+        return recovered == original
+
+
+class SeparateAreaImage(CodeImage):
+    """The paper's scheme: immutable compressed area + separate
+    allocator-managed decompressed area.
+
+    ``capacity`` bounds the decompressed area (None = unbounded; memory
+    budgets are normally enforced by the budget *strategy* instead).
+    """
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        codec: Codec,
+        capacity: Optional[int] = None,
+        alignment: int = 4,
+    ) -> None:
+        super().__init__(cfg, codec)
+        cursor = 0
+        for block in cfg.blocks:
+            payload = compress_for_image(codec, block_bytes(block))
+            self.blocks.append(
+                BlockImage(
+                    block_id=block.block_id,
+                    compressed_payload=payload,
+                    compressed_addr=cursor,
+                    uncompressed_size=block.size_bytes,
+                )
+            )
+            cursor += len(payload)
+        # The decompressed area starts right above the compressed area.
+        base = cursor + (-cursor % alignment)
+        self.allocator = FreeListAllocator(
+            base=base, capacity=capacity, alignment=alignment
+        )
+
+    def decompress(self, block_id: int) -> int:
+        block = self.blocks[block_id]
+        if block.is_resident:
+            raise ImageError(f"block B{block_id} is already decompressed")
+        address = self.allocator.allocate(max(block.uncompressed_size, 1))
+        block.resident_addr = address
+        self.decompress_count += 1
+        return address
+
+    def release(self, block_id: int) -> int:
+        block = self.blocks[block_id]
+        if not block.is_resident:
+            raise ImageError(f"block B{block_id} is not decompressed")
+        self.allocator.free(block.resident_addr)  # type: ignore[arg-type]
+        block.resident_addr = None
+        self.release_count += 1
+        return block.uncompressed_size
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.compressed_image_size + self.allocator.used_bytes
+
+    @property
+    def address_space_bytes(self) -> int:
+        return self.compressed_image_size + self.allocator.extent_bytes
+
+
+class InPlaceImage(CodeImage):
+    """Naive single-area scheme for the E8 comparison.
+
+    Every block lives in one area; decompressing frees its compressed slot
+    and allocates an uncompressed one, recompressing does the reverse.
+    Because slot sizes differ, the area fragments and blocks migrate —
+    exactly the problem Section 5's design avoids.  Branch patches are
+    needed on *every* move (tracked by ``relocations``).
+    """
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        codec: Codec,
+        capacity: Optional[int] = None,
+        alignment: int = 4,
+    ) -> None:
+        super().__init__(cfg, codec)
+        self.allocator = FreeListAllocator(
+            base=0, capacity=capacity, alignment=alignment
+        )
+        self.relocations = 0
+        self.compactions = 0
+        self.compaction_bytes_moved = 0
+        self._slot: Dict[int, int] = {}  # block id -> current slot address
+        for block in cfg.blocks:
+            payload = compress_for_image(codec, block_bytes(block))
+            address = self.allocator.allocate(max(len(payload), 1))
+            self.blocks.append(
+                BlockImage(
+                    block_id=block.block_id,
+                    compressed_payload=payload,
+                    compressed_addr=address,
+                    uncompressed_size=block.size_bytes,
+                )
+            )
+            self._slot[block.block_id] = address
+
+    def _reallocate(self, block_id: int, size: int) -> int:
+        """Free the current slot and allocate ``size`` bytes, compacting on
+        failure when the area is bounded."""
+        self.allocator.free(self._slot[block_id])
+        try:
+            address = self.allocator.allocate(max(size, 1))
+        except AllocationError:
+            moved, relocation_map = self.allocator.compact()
+            self.compactions += 1
+            self.compaction_bytes_moved += moved
+            for old, new in relocation_map.items():
+                for other_id, slot in self._slot.items():
+                    if slot == old and other_id != block_id:
+                        self._slot[other_id] = new
+                        self.relocations += 1
+            address = self.allocator.allocate(max(size, 1))
+        self._slot[block_id] = address
+        return address
+
+    def decompress(self, block_id: int) -> int:
+        block = self.blocks[block_id]
+        if block.is_resident:
+            raise ImageError(f"block B{block_id} is already decompressed")
+        address = self._reallocate(block_id, block.uncompressed_size)
+        if address != block.compressed_addr:
+            self.relocations += 1
+        block.resident_addr = address
+        self.decompress_count += 1
+        return address
+
+    def release(self, block_id: int) -> int:
+        block = self.blocks[block_id]
+        if not block.is_resident:
+            raise ImageError(f"block B{block_id} is not decompressed")
+        previous = block.resident_addr
+        address = self._reallocate(block_id, block.compressed_size)
+        if address != previous:
+            self.relocations += 1
+        block.compressed_addr = address
+        block.resident_addr = None
+        self.release_count += 1
+        return block.uncompressed_size
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.allocator.used_bytes + self.model_overhead
+
+    @property
+    def address_space_bytes(self) -> int:
+        return self.allocator.extent_bytes + self.model_overhead

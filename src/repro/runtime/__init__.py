@@ -1,0 +1,23 @@
+"""Runtime substrate: machine, events, metrics, background threads."""
+
+from .events import Event, EventKind, EventLog
+from .machine import BlockOutcome, Machine, MachineError
+from .metrics import Counters, FootprintTimeline, SimulationResult
+from .threads import BackgroundWorker, Job
+from .trace_sim import TraceMachine, simulate_trace
+
+__all__ = [
+    "BackgroundWorker",
+    "BlockOutcome",
+    "Counters",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FootprintTimeline",
+    "Job",
+    "Machine",
+    "MachineError",
+    "SimulationResult",
+    "TraceMachine",
+    "simulate_trace",
+]

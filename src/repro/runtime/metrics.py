@@ -1,0 +1,203 @@
+"""Metrics: footprint timeline, counters, and the per-run result record.
+
+The paper's two axes are *memory space consumption* and *performance
+overhead*; everything in this module exists to measure those two, plus the
+secondary quantities (stalls, patches, predictor accuracy) the analysis
+sections discuss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class FootprintTimeline:
+    """Piecewise-constant memory footprint over cycle time.
+
+    ``record(cycle, bytes)`` appends a step; peak and time-weighted average
+    are computed over [first record, close cycle].
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[Tuple[int, int]] = []
+
+    def record(self, cycle: int, footprint: int) -> None:
+        """Record that the footprint is ``footprint`` from ``cycle`` on."""
+        if self._samples and self._samples[-1][0] == cycle:
+            self._samples[-1] = (cycle, footprint)
+            return
+        if self._samples and cycle < self._samples[-1][0]:
+            raise ValueError(
+                f"footprint recorded out of order: {cycle} after "
+                f"{self._samples[-1][0]}"
+            )
+        self._samples.append((cycle, footprint))
+
+    @property
+    def samples(self) -> List[Tuple[int, int]]:
+        """The recorded (cycle, footprint) steps."""
+        return list(self._samples)
+
+    @property
+    def peak(self) -> int:
+        """Largest footprint ever recorded."""
+        return max((value for _, value in self._samples), default=0)
+
+    def average(self, end_cycle: Optional[int] = None) -> float:
+        """Time-weighted average footprint up to ``end_cycle``."""
+        if not self._samples:
+            return 0.0
+        if end_cycle is None:
+            end_cycle = self._samples[-1][0]
+        start = self._samples[0][0]
+        if end_cycle <= start:
+            return float(self._samples[0][1])
+        total = 0.0
+        for (cycle, value), (next_cycle, _) in zip(
+            self._samples, self._samples[1:]
+        ):
+            span = min(next_cycle, end_cycle) - cycle
+            if span > 0:
+                total += value * span
+        last_cycle, last_value = self._samples[-1]
+        if end_cycle > last_cycle:
+            total += last_value * (end_cycle - last_cycle)
+        return total / (end_cycle - start)
+
+
+@dataclass
+class Counters:
+    """Raw event counters maintained by the simulator."""
+
+    blocks_executed: int = 0
+    instructions: int = 0
+    faults: int = 0
+    decompressions: int = 0
+    recompressions: int = 0
+    stall_cycles: int = 0
+    stalls: int = 0
+    patches: int = 0
+    evictions: int = 0
+    predictions: int = 0
+    correct_predictions: int = 0
+    background_decompress_cycles: int = 0
+    background_compress_cycles: int = 0
+    wasted_decompressions: int = 0  # pre-decompressed, recompressed unused
+    dropped_prefetches: int = 0  # shed when the thread backlog was full
+    #: Bytes read from the target code memory (Section 2's traffic claim):
+    #: block bytes per entry when uncompressed, compressed payload bytes
+    #: per materialisation when compressed.
+    target_memory_bytes: int = 0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of pre-decompress-single predictions that were used."""
+        if self.predictions == 0:
+            return 0.0
+        return self.correct_predictions / self.predictions
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    ``total_cycles`` includes decompression stalls; ``execution_cycles`` is
+    pure compute.  Overhead versus an uncompressed baseline is
+    ``total_cycles / execution_cycles - 1`` because the baseline executes
+    the same instruction stream with no stalls.
+    """
+
+    program: str
+    strategy: str
+    codec: str
+    k_compress: Optional[int]
+    k_decompress: Optional[int]
+    total_cycles: int
+    execution_cycles: int
+    counters: Counters
+    footprint: FootprintTimeline
+    uncompressed_size: int
+    compressed_size: int
+    registers: List[int] = field(default_factory=list)
+    block_trace: List[int] = field(default_factory=list)
+
+    # ----------------------------------------------------------------
+    # The paper's headline metrics
+    # ----------------------------------------------------------------
+
+    @property
+    def cycle_overhead(self) -> float:
+        """Fractional slowdown vs. running fully decompressed."""
+        if self.execution_cycles == 0:
+            return 0.0
+        return self.total_cycles / self.execution_cycles - 1.0
+
+    @property
+    def peak_footprint(self) -> int:
+        """Peak memory holding code during the run (bytes)."""
+        return self.footprint.peak
+
+    @property
+    def average_footprint(self) -> float:
+        """Time-weighted average code memory (bytes)."""
+        return self.footprint.average(self.total_cycles)
+
+    @property
+    def peak_saving(self) -> float:
+        """Peak-memory saving vs. the uncompressed image (fraction)."""
+        if self.uncompressed_size == 0:
+            return 0.0
+        return 1.0 - self.peak_footprint / self.uncompressed_size
+
+    @property
+    def average_saving(self) -> float:
+        """Average-memory saving vs. the uncompressed image (fraction)."""
+        if self.uncompressed_size == 0:
+            return 0.0
+        return 1.0 - self.average_footprint / self.uncompressed_size
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers (table-friendly)."""
+        return {
+            "total_cycles": float(self.total_cycles),
+            "execution_cycles": float(self.execution_cycles),
+            "cycle_overhead": self.cycle_overhead,
+            "peak_footprint": float(self.peak_footprint),
+            "average_footprint": self.average_footprint,
+            "peak_saving": self.peak_saving,
+            "average_saving": self.average_saving,
+            "faults": float(self.counters.faults),
+            "decompressions": float(self.counters.decompressions),
+            "recompressions": float(self.counters.recompressions),
+            "stall_cycles": float(self.counters.stall_cycles),
+            "patches": float(self.counters.patches),
+            "evictions": float(self.counters.evictions),
+            "prediction_accuracy": self.counters.prediction_accuracy,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-block summary."""
+        lines = [
+            f"{self.program} [{self.strategy}, codec={self.codec}"
+            + (f", kc={self.k_compress}" if self.k_compress is not None
+               else "")
+            + (f", kd={self.k_decompress}" if self.k_decompress is not None
+               else "")
+            + "]",
+            f"  cycles: {self.total_cycles} "
+            f"(exec {self.execution_cycles}, "
+            f"overhead {self.cycle_overhead:.1%})",
+            f"  memory: peak {self.peak_footprint}B "
+            f"(saving {self.peak_saving:.1%}), "
+            f"avg {self.average_footprint:.0f}B "
+            f"(saving {self.average_saving:.1%})",
+            f"  image: {self.compressed_size}B compressed / "
+            f"{self.uncompressed_size}B uncompressed",
+            f"  events: {self.counters.faults} faults, "
+            f"{self.counters.decompressions} decompressions, "
+            f"{self.counters.recompressions} recompressions, "
+            f"{self.counters.stall_cycles} stall cycles, "
+            f"{self.counters.patches} patches",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Compression/decompression strategies — the paper's contribution layer."""
+
+from .base import CompressionPolicy, DecompressionPolicy, ManagerView
+from .budget import BudgetError, MemoryBudget
+from .kedge import KEdgeCompression, NeverRecompress
+from .ondemand import OnDemandDecompression
+from .predecompress import PreDecompressAll, PreDecompressSingle
+from .window import RecencyWindowCompression
+from .predictor import (
+    LastSuccessorPredictor,
+    MarkovPredictor,
+    OnlineProfilePredictor,
+    Predictor,
+    StaticProfilePredictor,
+    available_predictors,
+    make_predictor,
+)
+
+__all__ = [
+    "BudgetError",
+    "CompressionPolicy",
+    "DecompressionPolicy",
+    "KEdgeCompression",
+    "LastSuccessorPredictor",
+    "ManagerView",
+    "MarkovPredictor",
+    "MemoryBudget",
+    "NeverRecompress",
+    "OnDemandDecompression",
+    "OnlineProfilePredictor",
+    "PreDecompressAll",
+    "PreDecompressSingle",
+    "Predictor",
+    "RecencyWindowCompression",
+    "StaticProfilePredictor",
+    "available_predictors",
+    "make_predictor",
+]

@@ -1,0 +1,86 @@
+"""The k-edge compression algorithm (Section 3 + Section 5 of the paper).
+
+"This algorithm compresses a basic block that has been visited by the
+execution thread when the k-th edge following its visit is traversed."
+
+The published mechanism (Section 5) is counter-based and this module
+implements it verbatim:
+
+* each block (unit) has a counter, reset to zero when the block is
+  executed;
+* at each branch, the counter of each uncompressed block is increased
+  by 1;
+* blocks whose counter reaches k have their decompressed version deleted.
+
+``k`` tunes aggressiveness: k=1 recompresses a block as soon as the first
+edge after its visit is traversed (minimum memory, maximum churn); large k
+delays recompression (better performance, more memory) — the E1 sweep
+measures exactly this trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import CompressionPolicy
+
+
+class KEdgeCompression(CompressionPolicy):
+    """Counter-based k-edge recompression policy."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"kedge({k})"
+        self._counters: Dict[int, int] = {}
+
+    def on_unit_decompressed(self, unit_id: int) -> None:
+        # A freshly decompressed (possibly pre-decompressed, not yet
+        # executed) unit starts counting from zero.
+        self._counters[unit_id] = 0
+
+    def on_unit_enter(self, unit_id: int) -> None:
+        # "a counter, which is reset to zero when the basic block is
+        # executed" (Section 5).
+        self._counters[unit_id] = 0
+
+    def on_edge(self, src_unit: int, dst_unit: int) -> List[int]:
+        # "At each branch, the counter of each (uncompressed) basic block
+        # is increased by 1 and (the decompressed versions of) the basic
+        # blocks whose counter reaches k are deleted."  The destination is
+        # exempt: it is about to execute, which resets its counter anyway,
+        # and deleting it here would force an immediate refetch.
+        expired: List[int] = []
+        for unit_id in self.view.resident_units():
+            if unit_id == dst_unit:
+                continue
+            count = self._counters.get(unit_id, 0) + 1
+            self._counters[unit_id] = count
+            if count >= self.k:
+                expired.append(unit_id)
+        return sorted(expired)
+
+    def on_unit_released(self, unit_id: int) -> None:
+        self._counters.pop(unit_id, None)
+
+    def counter(self, unit_id: int) -> Optional[int]:
+        """Current counter of ``unit_id`` (None when untracked)."""
+        return self._counters.get(unit_id)
+
+
+class NeverRecompress(CompressionPolicy):
+    """k = infinity: once decompressed, a block stays decompressed.
+
+    This is the upper bound on memory consumption (converges to the fully
+    uncompressed image over the touched code) and the lower bound on
+    recompression overhead; E1 uses it as the right edge of the k sweep.
+    """
+
+    name = "never"
+
+    def on_unit_enter(self, unit_id: int) -> None:
+        pass
+
+    def on_edge(self, src_unit: int, dst_unit: int) -> List[int]:
+        return []

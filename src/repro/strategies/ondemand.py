@@ -1,0 +1,27 @@
+"""On-demand (lazy) decompression — Section 4, first option.
+
+"A basic block is decompressed only when the execution thread reaches it...
+All we need is a bit per basic block to keep track of whether the block
+accessed is currently in the compressed form or not.  Its main drawback is
+that the decompressions can occur in the critical path."
+
+The policy itself does nothing at block exits: the work happens in the
+simulator's fault handler, synchronously on the execution thread, which is
+exactly the performance drawback the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import DecompressionPolicy
+
+
+class OnDemandDecompression(DecompressionPolicy):
+    """Lazy decompression: react to faults only."""
+
+    name = "ondemand"
+    uses_thread = False
+
+    def on_block_exit(self, block_id: int) -> List[int]:
+        return []

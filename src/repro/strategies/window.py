@@ -1,0 +1,66 @@
+"""Recency-window compression: the natural alternative to k-edge.
+
+The paper's k-edge rule (Section 3) recompresses a block when the k-th
+edge *after its last execution* is traversed — per-block timers.  The
+obvious alternative a designer would consider is a working-set rule: keep
+the W most recently executed units decompressed, recompress everything
+older.  Experiment E12 compares the two at matched memory budgets to
+justify the paper's choice (k-edge releases cold blocks *eagerly* after
+exactly k edges, while a window holds W slots even when the program needs
+fewer; a window also recompresses hot-but-unlucky blocks under bursts).
+
+This policy exists for that ablation; it is API-compatible with
+:class:`~repro.strategies.base.CompressionPolicy` and can be injected via
+``CodeCompressionManager(compression_policy=...)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from .base import CompressionPolicy
+
+
+class RecencyWindowCompression(CompressionPolicy):
+    """Keep the ``window`` most recently *executed* units decompressed.
+
+    Units that were decompressed but never executed (pre-decompression)
+    occupy no window slot until first use; they are released only when
+    they leave the window after being used, or by eviction policies
+    elsewhere.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.name = f"window({window})"
+        self._recency: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_unit_enter(self, unit_id: int) -> None:
+        self._recency.pop(unit_id, None)
+        self._recency[unit_id] = None  # most recent at the end
+
+    def on_edge(self, src_unit: int, dst_unit: int) -> List[int]:
+        expired: List[int] = []
+        resident = self.view.resident_units()
+        while len(self._recency) > self.window:
+            victim, _ = self._recency.popitem(last=False)
+            if victim == dst_unit:
+                # destination is about to run; re-insert as most recent
+                self._recency[victim] = None
+                if len(self._recency) <= self.window:
+                    break
+                continue
+            if victim in resident:
+                expired.append(victim)
+        return expired
+
+    def on_unit_released(self, unit_id: int) -> None:
+        self._recency.pop(unit_id, None)
+
+    @property
+    def tracked(self) -> int:
+        """Number of units currently holding window slots."""
+        return len(self._recency)

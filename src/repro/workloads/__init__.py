@@ -1,0 +1,40 @@
+"""Workloads: embedded benchmark kernels and synthetic program generators.
+
+Importing this package registers every kernel in the suite registry.
+"""
+
+from .suite import (
+    Workload,
+    available_workloads,
+    full_suite,
+    get_workload,
+    register_workload,
+)
+
+# Importing the kernel modules populates the registry.
+from .generators import (
+    GeneratorConfig,
+    generate_program,
+    generate_sized_program,
+)
+from .kernels import (  # noqa: F401  (registration side effect)
+    coding,
+    composite,
+    control,
+    graph,
+    linalg,
+    micro,
+    sorting,
+    strings,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "Workload",
+    "generate_program",
+    "generate_sized_program",
+    "available_workloads",
+    "full_suite",
+    "get_workload",
+    "register_workload",
+]

@@ -1,0 +1,261 @@
+"""Coding kernels: bitwise CRC-32 and a simplified ADPCM encoder.
+
+Telecom/network-style workloads: bit-twiddling inner loops (CRC) and a
+branchy quantise-and-adapt loop (ADPCM), both classic embedded benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa.assembler import assemble
+from ...runtime.machine import Machine
+from ..suite import Workload, register_workload
+
+# ---------------------------------------------------------------------------
+# crc32: bitwise (table-free) CRC-32 over a byte message
+# ---------------------------------------------------------------------------
+
+_MSG_LEN = 64
+_MSG_BASE = 0x3000
+_POLY = 0xEDB88320
+
+
+def _message() -> List[int]:
+    return [(i * 37 + 11) & 0xFF for i in range(_MSG_LEN)]
+
+
+def _crc32_reference() -> int:
+    crc = 0xFFFFFFFF
+    for byte in _message():
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF
+
+
+_CRC_SOURCE = f"""
+; bitwise CRC-32; message bytes m[i] = (37i + 11) & 0xFF, one per word
+main:
+    li   r1, 0
+msg_init:
+    muli r4, r1, 37
+    addi r4, r4, 11
+    andi r4, r4, 255
+    muli r5, r1, 4
+    addi r5, r5, {_MSG_BASE}
+    st   r4, 0(r5)
+    addi r1, r1, 1
+    slti r8, r1, {_MSG_LEN}
+    bne  r8, r0, msg_init
+
+    ; crc = 0xFFFFFFFF
+    lui  r2, 0xFFFF
+    ori  r2, r2, 0xFFFF
+    ; poly = 0xEDB88320
+    lui  r3, {_POLY >> 16}
+    ori  r3, r3, {_POLY & 0xFFFF}
+
+    li   r1, 0              ; byte index
+crc_byte:
+    muli r4, r1, 4
+    addi r4, r4, {_MSG_BASE}
+    ld   r5, 0(r4)
+    xor  r2, r2, r5         ; crc ^= byte
+    li   r6, 8              ; bit counter
+crc_bit:
+    andi r7, r2, 1
+    shri r2, r2, 1
+    beq  r7, r0, crc_nopoly
+    xor  r2, r2, r3
+crc_nopoly:
+    subi r6, r6, 1
+    bne  r6, r0, crc_bit
+    addi r1, r1, 1
+    slti r8, r1, {_MSG_LEN}
+    bne  r8, r0, crc_byte
+
+    ; final xor; result in r14
+    lui  r4, 0xFFFF
+    ori  r4, r4, 0xFFFF
+    xor  r14, r2, r4
+    halt
+"""
+
+
+@register_workload("crc32")
+def build_crc32() -> Workload:
+    """Bitwise CRC-32 (bit-serial inner loop, taken/not-taken mix)."""
+
+    def check(machine: Machine) -> List[str]:
+        expected = _crc32_reference()
+        got = machine.registers[14] & 0xFFFFFFFF
+        if got != expected:
+            return [f"crc32: r14 = {got:#010x}, expected {expected:#010x}"]
+        return []
+
+    return Workload(
+        name="crc32",
+        description=f"bitwise CRC-32 over {_MSG_LEN} bytes",
+        program=assemble(_CRC_SOURCE, "crc32"),
+        check=check,
+    )
+
+
+# ---------------------------------------------------------------------------
+# adpcm: simplified adaptive delta encoder
+# ---------------------------------------------------------------------------
+
+_N_SAMPLES = 96
+_X_BASE = 0x3400
+_CODE_BASE = 0x3600
+
+
+def _samples() -> List[int]:
+    # Triangle-ish wave with pseudo-random jitter, all in code below.
+    return [
+        ((i * 11) % 64) - 32 + ((i * i) % 7) for i in range(_N_SAMPLES)
+    ]
+
+
+def _adpcm_reference():
+    pred, step = 0, 4
+    codes = []
+    for x in _samples():
+        diff = x - pred
+        sign = 0
+        if diff < 0:
+            sign = 8
+            diff = -diff
+        code = (diff * 4) // step
+        if code > 7:
+            code = 7
+        delta = (code * step) // 4
+        if sign:
+            pred -= delta
+        else:
+            pred += delta
+        if code >= 4:
+            step *= 2
+            if step > 16384:
+                step = 16384
+        else:
+            step //= 2
+            if step < 1:
+                step = 1
+        codes.append(sign | code)
+    checksum = 0
+    for c in codes:
+        checksum = (checksum * 31 + c) & 0x7FFFFFFF
+    return codes, checksum
+
+
+_ADPCM_SOURCE = f"""
+; simplified ADPCM: quantise diff to 4-bit code, adapt step size
+; x[i] = ((11i mod 64) - 32) + (i*i mod 7)
+main:
+    li   r1, 0
+x_init:
+    muli r4, r1, 11
+    li   r5, 64
+    mod  r4, r4, r5
+    subi r4, r4, 32
+    mul  r5, r1, r1
+    li   r6, 7
+    mod  r5, r5, r6
+    add  r4, r4, r5
+    muli r5, r1, 4
+    addi r5, r5, {_X_BASE}
+    st   r4, 0(r5)
+    addi r1, r1, 1
+    slti r8, r1, {_N_SAMPLES}
+    bne  r8, r0, x_init
+
+    li   r1, 0              ; i
+    li   r2, 0              ; pred
+    li   r3, 4              ; step
+    li   r14, 0             ; checksum
+enc_loop:
+    muli r4, r1, 4
+    addi r4, r4, {_X_BASE}
+    ld   r5, 0(r4)          ; x
+    sub  r6, r5, r2         ; diff
+    li   r7, 0              ; sign
+    bge  r6, r0, enc_pos
+    li   r7, 8
+    sub  r6, r0, r6         ; diff = -diff
+enc_pos:
+    muli r6, r6, 4
+    div  r6, r6, r3         ; code = diff*4/step
+    slti r8, r6, 8
+    bne  r8, r0, enc_clamped
+    li   r6, 7
+enc_clamped:
+    mul  r9, r6, r3
+    shri r9, r9, 2          ; delta = code*step/4
+    beq  r7, r0, enc_add
+    sub  r2, r2, r9
+    jmp  enc_adapt
+enc_add:
+    add  r2, r2, r9
+enc_adapt:
+    slti r8, r6, 4
+    bne  r8, r0, enc_shrink
+    muli r3, r3, 2
+    li   r8, 16384
+    slt  r9, r8, r3
+    beq  r9, r0, enc_store
+    li   r3, 16384
+    jmp  enc_store
+enc_shrink:
+    shri r3, r3, 1
+    bne  r3, r0, enc_store
+    li   r3, 1
+enc_store:
+    or   r4, r7, r6         ; code nibble
+    muli r5, r1, 4
+    addi r5, r5, {_CODE_BASE}
+    st   r4, 0(r5)
+    muli r14, r14, 31
+    add  r14, r14, r4
+    lui  r5, 0x7FFF
+    ori  r5, r5, 0xFFFF
+    and  r14, r14, r5
+    addi r1, r1, 1
+    slti r8, r1, {_N_SAMPLES}
+    bne  r8, r0, enc_loop
+    halt
+"""
+
+
+@register_workload("adpcm")
+def build_adpcm() -> Workload:
+    """Simplified ADPCM encoder (branchy quantise/adapt loop)."""
+
+    def check(machine: Machine) -> List[str]:
+        problems: List[str] = []
+        codes, checksum = _adpcm_reference()
+        for i, code in enumerate(codes):
+            got = machine.load_word(_CODE_BASE + 4 * i)
+            if got != code:
+                problems.append(
+                    f"adpcm: code[{i}] = {got}, expected {code}"
+                )
+                if len(problems) > 5:
+                    break
+        if machine.registers[14] != checksum:
+            problems.append(
+                f"adpcm: checksum r14 = {machine.registers[14]}, "
+                f"expected {checksum}"
+            )
+        return problems
+
+    return Workload(
+        name="adpcm",
+        description=f"simplified ADPCM over {_N_SAMPLES} samples",
+        program=assemble(_ADPCM_SOURCE, "adpcm"),
+        check=check,
+    )

@@ -1,0 +1,195 @@
+"""Graph kernel: Dijkstra single-source shortest paths (O(V^2)).
+
+Automotive/network benchmark suites (MiBench) ship exactly this kernel; it
+stresses irregular branching (min scans, relaxation tests) over nested
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa.assembler import assemble
+from ...runtime.machine import Machine
+from ..suite import Workload, register_workload
+
+_V = 12
+_INF = 30000
+_W_BASE = 0x5000     # V x V weight matrix
+_DIST_BASE = 0x5400
+_VISITED_BASE = 0x5500
+
+
+def _weights() -> List[List[int]]:
+    w = [[_INF] * _V for _ in range(_V)]
+    for i in range(_V):
+        w[i][i] = 0
+        for j in range(_V):
+            if i != j and (i * 7 + j * 13) % 4 == 0:
+                w[i][j] = (i * j + i + j) % 9 + 1
+    return w
+
+
+def _dijkstra_reference() -> List[int]:
+    w = _weights()
+    dist = [_INF] * _V
+    dist[0] = 0
+    visited = [False] * _V
+    for _ in range(_V):
+        u, best = -1, _INF + 1
+        for v in range(_V):
+            if not visited[v] and dist[v] < best:
+                best, u = dist[v], v
+        if u < 0:
+            break
+        visited[u] = True
+        for v in range(_V):
+            if dist[u] + w[u][v] < dist[v]:
+                dist[v] = dist[u] + w[u][v]
+    return dist
+
+
+_DIJKSTRA_SOURCE = f"""
+; Dijkstra from node 0 over a {_V}-node weighted digraph
+main:
+    ; build weight matrix
+    li   r1, 0              ; i
+w_i:
+    li   r2, 0              ; j
+w_j:
+    muli r4, r1, {_V}
+    add  r4, r4, r2
+    muli r4, r4, 4
+    addi r4, r4, {_W_BASE}
+    li   r5, {_INF}
+    beq  r1, r2, w_diag
+    muli r6, r1, 7
+    muli r7, r2, 13
+    add  r6, r6, r7
+    andi r6, r6, 3          ; (7i + 13j) % 4
+    bne  r6, r0, w_store
+    mul  r6, r1, r2
+    add  r6, r6, r1
+    add  r6, r6, r2
+    li   r7, 9
+    mod  r6, r6, r7
+    addi r5, r6, 1
+    jmp  w_store
+w_diag:
+    li   r5, 0
+w_store:
+    st   r5, 0(r4)
+    addi r2, r2, 1
+    slti r8, r2, {_V}
+    bne  r8, r0, w_j
+    addi r1, r1, 1
+    slti r8, r1, {_V}
+    bne  r8, r0, w_i
+
+    ; init dist / visited
+    li   r1, 0
+d_init:
+    muli r4, r1, 4
+    addi r5, r4, {_DIST_BASE}
+    li   r6, {_INF}
+    st   r6, 0(r5)
+    addi r5, r4, {_VISITED_BASE}
+    st   r0, 0(r5)
+    addi r1, r1, 1
+    slti r8, r1, {_V}
+    bne  r8, r0, d_init
+    li   r4, {_DIST_BASE}
+    st   r0, 0(r4)          ; dist[0] = 0
+
+    li   r9, 0              ; outer iteration
+dj_outer:
+    ; find unvisited u with min dist
+    li   r1, 0              ; v
+    li   r2, {_INF + 1}     ; best
+    subi r3, r0, 1          ; u = -1
+dj_scan:
+    muli r4, r1, 4
+    addi r5, r4, {_VISITED_BASE}
+    ld   r6, 0(r5)
+    bne  r6, r0, dj_scan_next
+    addi r5, r4, {_DIST_BASE}
+    ld   r6, 0(r5)
+    bge  r6, r2, dj_scan_next
+    mov  r2, r6
+    mov  r3, r1
+dj_scan_next:
+    addi r1, r1, 1
+    slti r8, r1, {_V}
+    bne  r8, r0, dj_scan
+    blt  r3, r0, dj_done    ; no reachable unvisited node
+
+    ; visit u (r3), relax all v
+    muli r4, r3, 4
+    addi r5, r4, {_VISITED_BASE}
+    li   r6, 1
+    st   r6, 0(r5)
+    addi r5, r4, {_DIST_BASE}
+    ld   r7, 0(r5)          ; dist[u]
+    li   r1, 0              ; v
+dj_relax:
+    muli r4, r3, {_V}
+    add  r4, r4, r1
+    muli r4, r4, 4
+    addi r4, r4, {_W_BASE}
+    ld   r5, 0(r4)          ; w[u][v]
+    add  r5, r5, r7         ; dist[u] + w[u][v]
+    muli r4, r1, 4
+    addi r4, r4, {_DIST_BASE}
+    ld   r6, 0(r4)          ; dist[v]
+    bge  r5, r6, dj_norelax
+    st   r5, 0(r4)
+dj_norelax:
+    addi r1, r1, 1
+    slti r8, r1, {_V}
+    bne  r8, r0, dj_relax
+
+    addi r9, r9, 1
+    slti r8, r9, {_V}
+    bne  r8, r0, dj_outer
+dj_done:
+    ; checksum distances -> r14
+    li   r1, 0
+    li   r14, 0
+dj_sum:
+    muli r4, r1, 4
+    addi r4, r4, {_DIST_BASE}
+    ld   r5, 0(r4)
+    add  r14, r14, r5
+    addi r1, r1, 1
+    slti r8, r1, {_V}
+    bne  r8, r0, dj_sum
+    halt
+"""
+
+
+@register_workload("dijkstra")
+def build_dijkstra() -> Workload:
+    """O(V^2) Dijkstra (MiBench-style network kernel)."""
+
+    def check(machine: Machine) -> List[str]:
+        problems: List[str] = []
+        dist = _dijkstra_reference()
+        for v in range(_V):
+            got = machine.load_word(_DIST_BASE + 4 * v)
+            if got != dist[v]:
+                problems.append(
+                    f"dijkstra: dist[{v}] = {got}, expected {dist[v]}"
+                )
+        if machine.registers[14] != sum(dist):
+            problems.append(
+                f"dijkstra: checksum r14 = {machine.registers[14]}, "
+                f"expected {sum(dist)}"
+            )
+        return problems
+
+    return Workload(
+        name="dijkstra",
+        description=f"Dijkstra over {_V} nodes (O(V^2) scan + relax)",
+        program=assemble(_DIJKSTRA_SOURCE, "dijkstra"),
+        check=check,
+    )

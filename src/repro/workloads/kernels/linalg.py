@@ -1,0 +1,250 @@
+"""Linear-algebra kernels: matrix multiply and FIR filter.
+
+Classic embedded DSP workloads: deep loop nests with high temporal reuse of
+a small set of basic blocks — the regime where the k-edge parameter's
+memory/performance trade-off is most visible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa.assembler import assemble
+from ...runtime.machine import Machine
+from ..suite import Workload, register_workload
+
+# ---------------------------------------------------------------------------
+# matmul: C = A x B, N x N integer matrices
+# ---------------------------------------------------------------------------
+
+_N = 8
+_A_BASE = 0x1000
+_B_BASE = 0x1100
+_C_BASE = 0x1200
+
+_MATMUL_SOURCE = f"""
+; C = A * B over {_N}x{_N} int matrices; A[i][j] = i + 2j, B[i][j] = 3i - j
+main:
+    li   r1, 0              ; i
+init_i:
+    li   r2, 0              ; j
+init_j:
+    muli r4, r1, {_N}
+    add  r4, r4, r2
+    muli r5, r4, 4
+    addi r6, r5, {_A_BASE}
+    add  r7, r1, r2
+    add  r7, r7, r2         ; i + 2j
+    st   r7, 0(r6)
+    addi r6, r5, {_B_BASE}
+    muli r7, r1, 3
+    sub  r7, r7, r2         ; 3i - j
+    st   r7, 0(r6)
+    addi r2, r2, 1
+    slti r8, r2, {_N}
+    bne  r8, r0, init_j
+    addi r1, r1, 1
+    slti r8, r1, {_N}
+    bne  r8, r0, init_i
+
+    li   r1, 0              ; i
+mm_i:
+    li   r2, 0              ; j
+mm_j:
+    li   r3, 0              ; k
+    li   r9, 0              ; acc
+mm_k:
+    muli r4, r1, {_N}
+    add  r4, r4, r3
+    muli r4, r4, 4
+    addi r4, r4, {_A_BASE}
+    ld   r5, 0(r4)          ; A[i][k]
+    muli r4, r3, {_N}
+    add  r4, r4, r2
+    muli r4, r4, 4
+    addi r4, r4, {_B_BASE}
+    ld   r6, 0(r4)          ; B[k][j]
+    mul  r7, r5, r6
+    add  r9, r9, r7
+    addi r3, r3, 1
+    slti r8, r3, {_N}
+    bne  r8, r0, mm_k
+    muli r4, r1, {_N}
+    add  r4, r4, r2
+    muli r4, r4, 4
+    addi r4, r4, {_C_BASE}
+    st   r9, 0(r4)
+    addi r2, r2, 1
+    slti r8, r2, {_N}
+    bne  r8, r0, mm_j
+    addi r1, r1, 1
+    slti r8, r1, {_N}
+    bne  r8, r0, mm_i
+
+    li   r1, 0              ; checksum C into r14
+    li   r14, 0
+sum_loop:
+    muli r4, r1, 4
+    addi r4, r4, {_C_BASE}
+    ld   r5, 0(r4)
+    add  r14, r14, r5
+    addi r1, r1, 1
+    slti r8, r1, {_N * _N}
+    bne  r8, r0, sum_loop
+    halt
+"""
+
+
+def _matmul_reference():
+    a = [[i + 2 * j for j in range(_N)] for i in range(_N)]
+    b = [[3 * i - j for j in range(_N)] for i in range(_N)]
+    c = [
+        [
+            sum(a[i][k] * b[k][j] for k in range(_N))
+            for j in range(_N)
+        ]
+        for i in range(_N)
+    ]
+    return c
+
+
+@register_workload("matmul")
+def build_matmul() -> Workload:
+    """Dense integer matrix multiply (triple loop nest)."""
+
+    def check(machine: Machine) -> List[str]:
+        problems: List[str] = []
+        c = _matmul_reference()
+        for i in range(_N):
+            for j in range(_N):
+                got = machine.load_word(_C_BASE + 4 * (i * _N + j))
+                if got != c[i][j]:
+                    problems.append(
+                        f"matmul: C[{i}][{j}] = {got}, expected {c[i][j]}"
+                    )
+        checksum = sum(sum(row) for row in c)
+        if machine.registers[14] != checksum:
+            problems.append(
+                f"matmul: checksum r14 = {machine.registers[14]}, "
+                f"expected {checksum}"
+            )
+        return problems
+
+    return Workload(
+        name="matmul",
+        description=f"{_N}x{_N} integer matrix multiply; triple loop nest",
+        program=assemble(_MATMUL_SOURCE, "matmul"),
+        check=check,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fir: 8-tap FIR filter over 64 samples
+# ---------------------------------------------------------------------------
+
+_SAMPLES = 64
+_TAPS = 8
+_X_BASE = 0x2000
+_H_BASE = 0x2100
+_Y_BASE = 0x2200
+
+_FIR_SOURCE = f"""
+; y[n] = sum_k h[k] * x[n-k], n = {_TAPS - 1}..{_SAMPLES - 1}
+; x[i] = (7i mod 13) - 6, h[k] = k - 3
+main:
+    li   r1, 0
+x_init:
+    muli r4, r1, 7
+    li   r5, 13
+    mod  r4, r4, r5
+    subi r4, r4, 6
+    muli r5, r1, 4
+    addi r5, r5, {_X_BASE}
+    st   r4, 0(r5)
+    addi r1, r1, 1
+    slti r8, r1, {_SAMPLES}
+    bne  r8, r0, x_init
+    li   r1, 0
+h_init:
+    subi r4, r1, 3
+    muli r5, r1, 4
+    addi r5, r5, {_H_BASE}
+    st   r4, 0(r5)
+    addi r1, r1, 1
+    slti r8, r1, {_TAPS}
+    bne  r8, r0, h_init
+
+    li   r1, {_TAPS - 1}    ; n
+fir_n:
+    li   r2, 0              ; k
+    li   r9, 0              ; acc
+fir_k:
+    muli r4, r2, 4
+    addi r4, r4, {_H_BASE}
+    ld   r5, 0(r4)          ; h[k]
+    sub  r4, r1, r2
+    muli r4, r4, 4
+    addi r4, r4, {_X_BASE}
+    ld   r6, 0(r4)          ; x[n-k]
+    mul  r7, r5, r6
+    add  r9, r9, r7
+    addi r2, r2, 1
+    slti r8, r2, {_TAPS}
+    bne  r8, r0, fir_k
+    muli r4, r1, 4
+    addi r4, r4, {_Y_BASE}
+    st   r9, 0(r4)
+    addi r1, r1, 1
+    slti r8, r1, {_SAMPLES}
+    bne  r8, r0, fir_n
+
+    li   r1, {_TAPS - 1}    ; checksum y into r14
+    li   r14, 0
+y_sum:
+    muli r4, r1, 4
+    addi r4, r4, {_Y_BASE}
+    ld   r5, 0(r4)
+    add  r14, r14, r5
+    addi r1, r1, 1
+    slti r8, r1, {_SAMPLES}
+    bne  r8, r0, y_sum
+    halt
+"""
+
+
+def _fir_reference():
+    x = [(7 * i) % 13 - 6 for i in range(_SAMPLES)]
+    h = [k - 3 for k in range(_TAPS)]
+    y = {}
+    for n in range(_TAPS - 1, _SAMPLES):
+        y[n] = sum(h[k] * x[n - k] for k in range(_TAPS))
+    return y
+
+
+@register_workload("fir")
+def build_fir() -> Workload:
+    """8-tap FIR filter (DSP inner loop with sliding window)."""
+
+    def check(machine: Machine) -> List[str]:
+        problems: List[str] = []
+        y = _fir_reference()
+        for n, expected in y.items():
+            got = machine.load_word(_Y_BASE + 4 * n)
+            if got != expected:
+                problems.append(
+                    f"fir: y[{n}] = {got}, expected {expected}"
+                )
+        checksum = sum(y.values())
+        if machine.registers[14] != checksum:
+            problems.append(
+                f"fir: checksum r14 = {machine.registers[14]}, "
+                f"expected {checksum}"
+            )
+        return problems
+
+    return Workload(
+        name="fir",
+        description=f"{_TAPS}-tap FIR over {_SAMPLES} samples",
+        program=assemble(_FIR_SOURCE, "fir"),
+        check=check,
+    )

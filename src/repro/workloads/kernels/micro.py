@@ -1,0 +1,98 @@
+"""Micro kernels: small warm-up programs (quickstart-sized).
+
+``fib`` and ``gcd`` are deliberately tiny: they exercise the whole pipeline
+(assemble -> CFG -> compress -> simulate -> validate) in milliseconds and
+anchor documentation examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa.assembler import assemble
+from ...runtime.machine import Machine
+from ..suite import Workload, register_workload
+
+_FIB_N = 24
+
+_FIB_SOURCE = f"""
+; iterative fibonacci: r3 = fib({_FIB_N})
+main:
+    li   r1, {_FIB_N}       ; counter
+    li   r2, 0              ; fib(i-1)
+    li   r3, 1              ; fib(i)
+fib_loop:
+    add  r4, r2, r3
+    mov  r2, r3
+    mov  r3, r4
+    subi r1, r1, 1
+    bne  r1, r0, fib_loop
+    halt
+"""
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return b
+
+
+@register_workload("fib")
+def build_fib() -> Workload:
+    """Iterative Fibonacci — the minimal single-loop workload."""
+
+    def check(machine: Machine) -> List[str]:
+        expected = _fib(_FIB_N)
+        if machine.registers[3] != expected:
+            return [
+                f"fib: r3 = {machine.registers[3]}, expected {expected}"
+            ]
+        return []
+
+    return Workload(
+        name="fib",
+        description=f"iterative fibonacci({_FIB_N}); one tight loop",
+        program=assemble(_FIB_SOURCE, "fib"),
+        check=check,
+    )
+
+
+_GCD_A = 1071 * 13
+_GCD_B = 462 * 13
+
+_GCD_SOURCE = f"""
+; Euclid's algorithm: r1 = gcd({_GCD_A}, {_GCD_B})
+main:
+    li   r1, {_GCD_A}
+    li   r2, {_GCD_B}
+gcd_loop:
+    beq  r2, r0, gcd_done
+    mod  r3, r1, r2
+    mov  r1, r2
+    mov  r2, r3
+    jmp  gcd_loop
+gcd_done:
+    halt
+"""
+
+
+@register_workload("gcd")
+def build_gcd() -> Workload:
+    """Euclid's GCD — loop with data-dependent trip count."""
+    import math
+
+    def check(machine: Machine) -> List[str]:
+        expected = math.gcd(_GCD_A, _GCD_B)
+        if machine.registers[1] != expected:
+            return [
+                f"gcd: r1 = {machine.registers[1]}, expected {expected}"
+            ]
+        return []
+
+    return Workload(
+        name="gcd",
+        description=f"Euclid gcd({_GCD_A}, {_GCD_B}); modulo loop",
+        program=assemble(_GCD_SOURCE, "gcd"),
+        check=check,
+    )

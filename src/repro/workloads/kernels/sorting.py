@@ -1,0 +1,188 @@
+"""Sorting kernels: bubble sort (data-dependent branches) and recursive
+quicksort (deep call/return behaviour over the stack).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa.assembler import assemble
+from ...runtime.machine import Machine
+from ..suite import Workload, register_workload
+
+_COUNT = 48
+_ARRAY = 0x4000
+
+
+def _input_values() -> List[int]:
+    return [((i * 73 + 41) % 97) - 48 for i in range(_COUNT)]
+
+
+_INIT_SNIPPET = f"""
+    li   r1, 0
+arr_init:
+    muli r4, r1, 73
+    addi r4, r4, 41
+    li   r5, 97
+    mod  r4, r4, r5
+    subi r4, r4, 48
+    muli r5, r1, 4
+    addi r5, r5, {_ARRAY}
+    st   r4, 0(r5)
+    addi r1, r1, 1
+    slti r8, r1, {_COUNT}
+    bne  r8, r0, arr_init
+"""
+
+_CHECK_SNIPPET = f"""
+    ; weighted checksum sum((i+1) * a[i]) -> r14
+    li   r1, 0
+    li   r14, 0
+chk_loop:
+    muli r4, r1, 4
+    addi r4, r4, {_ARRAY}
+    ld   r5, 0(r4)
+    addi r6, r1, 1
+    mul  r5, r5, r6
+    add  r14, r14, r5
+    addi r1, r1, 1
+    slti r8, r1, {_COUNT}
+    bne  r8, r0, chk_loop
+    halt
+"""
+
+_BUBBLE_SOURCE = f"""
+; bubble sort {_COUNT} ints ascending
+main:
+{_INIT_SNIPPET}
+    li   r1, {_COUNT - 1}   ; passes remaining
+bub_pass:
+    li   r2, 0              ; index
+bub_inner:
+    muli r4, r2, 4
+    addi r4, r4, {_ARRAY}
+    ld   r5, 0(r4)          ; a[i]
+    ld   r6, 4(r4)          ; a[i+1]
+    bge  r6, r5, bub_noswap
+    st   r6, 0(r4)
+    st   r5, 4(r4)
+bub_noswap:
+    addi r2, r2, 1
+    blt  r2, r1, bub_inner
+    subi r1, r1, 1
+    bne  r1, r0, bub_pass
+{_CHECK_SNIPPET}
+"""
+
+
+def _sorted_checksum() -> int:
+    values = sorted(_input_values())
+    return sum((i + 1) * v for i, v in enumerate(values))
+
+
+def _make_sort_check(kernel: str):
+    def check(machine: Machine) -> List[str]:
+        problems: List[str] = []
+        expected = sorted(_input_values())
+        for i, value in enumerate(expected):
+            got = machine.load_word(_ARRAY + 4 * i)
+            if got != value:
+                problems.append(
+                    f"{kernel}: a[{i}] = {got}, expected {value}"
+                )
+                if len(problems) > 5:
+                    break
+        if machine.registers[14] != _sorted_checksum():
+            problems.append(
+                f"{kernel}: checksum r14 = {machine.registers[14]}, "
+                f"expected {_sorted_checksum()}"
+            )
+        return problems
+
+    return check
+
+
+@register_workload("bubble")
+def build_bubble() -> Workload:
+    """Bubble sort: tight doubly-nested loop, data-dependent swap branch."""
+    return Workload(
+        name="bubble",
+        description=f"bubble sort of {_COUNT} ints; data-dependent branch",
+        program=assemble(_BUBBLE_SOURCE, "bubble"),
+        check=_make_sort_check("bubble"),
+    )
+
+
+_QSORT_SOURCE = f"""
+; recursive quicksort (Lomuto partition)
+main:
+{_INIT_SNIPPET}
+    li   r1, 0              ; lo
+    li   r2, {_COUNT - 1}   ; hi
+    call qsort
+{_CHECK_SNIPPET}
+
+qsort:
+    blt  r1, r2, qs_work
+    ret
+qs_work:
+    subi sp, sp, 16
+    st   ra, 0(sp)
+    st   r1, 4(sp)
+    st   r2, 8(sp)
+    ; pivot = a[hi]
+    muli r4, r2, 4
+    addi r4, r4, {_ARRAY}
+    ld   r5, 0(r4)          ; pivot
+    subi r6, r1, 1          ; i
+    mov  r7, r1             ; j
+qs_part:
+    bge  r7, r2, qs_part_done
+    muli r4, r7, 4
+    addi r4, r4, {_ARRAY}
+    ld   r8, 0(r4)          ; a[j]
+    bge  r8, r5, qs_noswap
+    addi r6, r6, 1
+    muli r9, r6, 4
+    addi r9, r9, {_ARRAY}
+    ld   r10, 0(r9)
+    st   r8, 0(r9)
+    st   r10, 0(r4)
+qs_noswap:
+    addi r7, r7, 1
+    jmp  qs_part
+qs_part_done:
+    addi r6, r6, 1          ; p
+    muli r9, r6, 4
+    addi r9, r9, {_ARRAY}
+    ld   r10, 0(r9)         ; a[p]
+    muli r4, r2, 4
+    addi r4, r4, {_ARRAY}
+    ld   r8, 0(r4)          ; a[hi]
+    st   r8, 0(r9)
+    st   r10, 0(r4)
+    st   r6, 12(sp)
+    ; qsort(lo, p-1)
+    ld   r1, 4(sp)
+    subi r2, r6, 1
+    call qsort
+    ; qsort(p+1, hi)
+    ld   r4, 12(sp)
+    addi r1, r4, 1
+    ld   r2, 8(sp)
+    call qsort
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+"""
+
+
+@register_workload("quicksort")
+def build_quicksort() -> Workload:
+    """Recursive quicksort: call/return-heavy control flow."""
+    return Workload(
+        name="quicksort",
+        description=f"recursive quicksort of {_COUNT} ints",
+        program=assemble(_QSORT_SOURCE, "quicksort"),
+        check=_make_sort_check("quicksort"),
+    )

@@ -1,0 +1,100 @@
+"""Structural tests over the whole workload suite."""
+
+import pytest
+
+from repro.cfg import build_cfg, natural_loops
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+from repro.isa import assemble, disassemble_to_source
+from repro.workloads import (
+    Workload,
+    available_workloads,
+    full_suite,
+    get_workload,
+)
+
+_EXPECTED = {
+    "adpcm", "bubble", "cold_paths", "composite", "crc32", "dijkstra",
+    "fib", "fir", "fsm", "gcd", "histogram", "matmul", "modular",
+    "quicksort", "strsearch",
+}
+
+
+class TestRegistry:
+    def test_expected_kernels_present(self):
+        assert set(available_workloads()) == _EXPECTED
+
+    def test_unknown_workload_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("doom")
+
+    def test_factories_return_fresh_instances(self):
+        assert get_workload("fib") is not get_workload("fib")
+
+    def test_full_suite_instantiates_everything(self):
+        suite = full_suite()
+        assert len(suite) == len(_EXPECTED)
+        assert all(isinstance(w, Workload) for w in suite)
+
+
+class TestKernelStructure:
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_cfg_is_structurally_valid(self, name):
+        cfg = build_cfg(get_workload(name).program)
+        assert cfg.validate() == []
+
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_every_kernel_has_a_description(self, name):
+        workload = get_workload(name)
+        assert workload.description
+        assert workload.name == name
+
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_all_blocks_reachable(self, name):
+        cfg = build_cfg(get_workload(name).program)
+        reachable = cfg.reachable_from_entry()
+        assert reachable == {b.block_id for b in cfg.blocks}
+
+    @pytest.mark.parametrize(
+        "name",
+        ["matmul", "fir", "bubble", "quicksort", "dijkstra", "crc32",
+         "adpcm", "histogram", "fsm", "cold_paths", "modular",
+         "composite"],
+    )
+    def test_nontrivial_kernels_have_loops(self, name):
+        cfg = build_cfg(get_workload(name).program)
+        assert natural_loops(cfg)
+
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_disassembly_reassembles(self, name):
+        program = get_workload(name).program
+        text = disassemble_to_source(program)
+        again = assemble(text, name)
+        assert again.encode() == program.encode()
+
+
+class TestOracles:
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_oracle_accepts_correct_run(self, name):
+        workload = get_workload(name)
+        cfg = build_cfg(workload.program)
+        manager = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=False),
+        )
+        manager.run()
+        assert workload.validate(manager.machine) == []
+
+    def test_oracle_rejects_wrong_state(self):
+        # sanity: oracles are real checks, not rubber stamps
+        workload = get_workload("fib")
+        cfg = build_cfg(workload.program)
+        manager = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=False),
+        )
+        manager.run()
+        manager.machine.registers[3] += 1  # corrupt the result
+        assert workload.validate(manager.machine)

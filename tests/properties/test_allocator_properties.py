@@ -1,0 +1,98 @@
+"""Property-based tests for the free-list allocator.
+
+Invariants checked against random allocate/free sequences:
+
+* no two live allocations overlap;
+* holes and allocations tile the extent exactly (no lost bytes);
+* holes are coalesced (no two adjacent holes);
+* used_bytes equals the sum of live allocation sizes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import AllocationError, FreeListAllocator
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1,
+                                                max_value=256)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _check_invariants(alloc: FreeListAllocator) -> None:
+    allocations = sorted(alloc.allocations().items())
+    holes = sorted(alloc.holes(), key=lambda hole: hole.start)
+
+    # live allocations never overlap
+    for (start_a, size_a), (start_b, _) in zip(allocations,
+                                               allocations[1:]):
+        assert start_a + size_a <= start_b
+
+    # used accounting is exact
+    assert alloc.used_bytes == sum(size for _, size in allocations)
+
+    # holes are coalesced: no hole touches the next hole
+    for hole, nxt in zip(holes, holes[1:]):
+        assert hole.end < nxt.start
+
+    # allocations and holes tile the tracked region without overlap
+    regions = [(start, start + size) for start, size in allocations]
+    regions += [(hole.start, hole.end) for hole in holes]
+    regions.sort()
+    for (_, end_a), (start_b, _) in zip(regions, regions[1:]):
+        assert end_a <= start_b
+
+
+class TestAllocatorInvariants:
+    @given(ops=_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_unbounded_random_ops(self, ops):
+        alloc = FreeListAllocator()
+        live = []
+        for op, value in ops:
+            if op == "alloc":
+                live.append(alloc.allocate(value))
+            elif live:
+                alloc.free(live.pop(value % len(live)))
+            _check_invariants(alloc)
+
+    @given(ops=_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_random_ops(self, ops):
+        alloc = FreeListAllocator(capacity=2048)
+        live = []
+        for op, value in ops:
+            if op == "alloc":
+                try:
+                    live.append(alloc.allocate(value))
+                except AllocationError:
+                    pass  # full is a legitimate outcome
+            elif live:
+                alloc.free(live.pop(value % len(live)))
+            _check_invariants(alloc)
+            assert alloc.used_bytes + alloc.free_bytes <= 2048
+
+    @given(ops=_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_compaction_preserves_totals(self, ops):
+        alloc = FreeListAllocator(capacity=4096)
+        live = []
+        for op, value in ops:
+            if op == "alloc":
+                try:
+                    live.append(alloc.allocate(value))
+                except AllocationError:
+                    pass
+            elif live:
+                alloc.free(live.pop(value % len(live)))
+        used_before = alloc.used_bytes
+        count_before = alloc.live_allocations
+        alloc.compact()
+        assert alloc.used_bytes == used_before
+        assert alloc.live_allocations == count_before
+        assert alloc.hole_count <= 1
+        _check_invariants(alloc)

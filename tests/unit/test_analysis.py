@@ -1,0 +1,103 @@
+"""Unit tests for the analysis helpers (tables, series, sweeps)."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    Table,
+    geometric_mean,
+    mean,
+    percent,
+    run_one,
+    sweep,
+)
+from repro.core import SimulationConfig
+from repro.workloads import get_workload
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("a", 1.23456)
+        table.add_row("b", 2)
+        text = table.render()
+        assert "demo" in text
+        assert "1.235" in text  # 3-decimal float formatting
+        assert "b" in text
+
+    def test_row_width_checked(self):
+        table = Table("demo", ["one"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1, 2)
+
+    def test_column_extraction(self):
+        table = Table("demo", ["x", "y"])
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("y") == [10, 20]
+
+    def test_notes_rendered(self):
+        table = Table("demo", ["x"])
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+
+
+class TestSeries:
+    def test_monotonicity_checks(self):
+        series = Series("s", "k", "overhead")
+        for x, y in ((1, 9.0), (2, 5.0), (4, 5.0), (8, 2.0)):
+            series.add(x, y)
+        assert series.is_monotone_nonincreasing()
+        assert not series.is_monotone_nondecreasing()
+
+    def test_tolerance(self):
+        series = Series("s", "k", "y")
+        series.add(1, 1.0)
+        series.add(2, 1.05)
+        assert series.is_monotone_nonincreasing(tolerance=0.1)
+
+    def test_render(self):
+        series = Series("lbl", "k", "v")
+        series.add(1, 2.0)
+        assert "lbl" in series.render()
+        assert "(1, 2.000)" in series.render()
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+        assert mean([1, 2, 3]) == 2.0
+
+
+class TestSweep:
+    def test_run_one_validates(self):
+        run = run_one(get_workload("fib"), SimulationConfig())
+        assert run.ok
+        assert run.result.total_cycles > 0
+
+    def test_sweep_grid(self):
+        workloads = [get_workload("fib"), get_workload("gcd")]
+        configs = [
+            SimulationConfig(k_compress=1),
+            SimulationConfig(k_compress=None),
+        ]
+        result = sweep(workloads, configs)
+        assert len(result.runs) == 4
+        assert result.workloads() == ["fib", "gcd"]
+        assert len(result.by_workload("fib")) == 2
+        assert result.failures() == []
+
+    def test_sweep_fast_mode_disables_tracing(self):
+        result = sweep([get_workload("fib")], [SimulationConfig()])
+        run = result.runs[0]
+        assert run.result.block_trace == []

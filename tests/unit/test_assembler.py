@@ -1,0 +1,131 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    Opcode,
+    ProgramError,
+    assemble,
+    disassemble_to_source,
+)
+
+
+class TestSyntax:
+    def test_minimal_program(self):
+        program = assemble("main:\n    halt\n")
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_comments_stripped(self):
+        program = assemble(
+            "main: ; entry\n    li r1, 5  # load\n    halt\n"
+        )
+        assert len(program) == 2
+
+    def test_label_and_instruction_on_one_line(self):
+        program = assemble("main: li r1, 1\n    halt")
+        assert program.labels["main"] == 0
+
+    def test_register_aliases(self):
+        program = assemble("main:\n    mov sp, ra\n    halt")
+        instr = program.instructions[0]
+        assert instr.rd == 13  # sp
+        assert instr.rs1 == 15  # ra
+
+    def test_hex_immediates(self):
+        program = assemble("main:\n    li r1, 0x7F\n    halt")
+        assert program.instructions[0].imm == 0x7F
+
+    def test_negative_immediates(self):
+        program = assemble("main:\n    addi r1, r1, -42\n    halt")
+        assert program.instructions[0].imm == -42
+
+    def test_memory_operand_forms(self):
+        program = assemble(
+            "main:\n    ld r1, 8(r2)\n    st r3, -4(sp)\n    halt"
+        )
+        load, store = program.instructions[:2]
+        assert (load.rd, load.rs1, load.imm) == (1, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (3, 13, -4)
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("main:\n    LI r1, 3\n    HALT")
+        assert program.instructions[0].opcode is Opcode.LI
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("main:\n    frobnicate r1\n    halt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("main:\n    li r16, 0\n    halt")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="bad immediate"):
+            assemble("main:\n    li r1, banana\n    halt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("main:\n    add r1, r2\n    halt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble("main:\n    ld r1, r2\n    halt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("main:\n    nop\nmain:\n    halt")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(ProgramError, match="undefined label"):
+            assemble("main:\n    jmp nowhere\n    halt")
+
+    def test_missing_entry_label(self):
+        with pytest.raises(ProgramError, match="entry label"):
+            assemble("start:\n    halt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("main:\n    nop\n    badop\n    halt")
+        assert excinfo.value.line_number == 3
+
+
+class TestLinking:
+    def test_branch_targets_resolved_to_addresses(self):
+        program = assemble(
+            "main:\n    jmp next\n    nop\nnext:\n    halt"
+        )
+        assert program.instructions[0].imm == 8  # third instruction
+
+    def test_backward_branch(self):
+        program = assemble(
+            "main:\nloop:\n    subi r1, r1, 1\n    bne r1, r0, loop\n"
+            "    halt"
+        )
+        assert program.instructions[1].imm == 0
+
+    def test_custom_entry_label(self):
+        program = assemble(
+            "start:\n    halt", entry_label="start"
+        )
+        assert program.entry_label == "start"
+        assert program.entry_index == 0
+
+
+class TestDisassemblyRoundtrip:
+    def test_source_roundtrip_preserves_semantics(self, loop_program):
+        text = disassemble_to_source(loop_program)
+        again = assemble(text, loop_program.name)
+        assert len(again) == len(loop_program)
+        for a, b in zip(loop_program.instructions, again.instructions):
+            assert a.opcode == b.opcode
+            assert (a.rd, a.rs1, a.rs2) == (b.rd, b.rs1, b.rs2)
+            assert a.imm == b.imm
+
+    def test_roundtrip_synthesises_labels_for_raw_targets(self):
+        program = assemble("main:\n    jmp end\n    nop\nend:\n    halt")
+        text = disassemble_to_source(program)
+        assert "end:" in text

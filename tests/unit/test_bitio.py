@@ -1,0 +1,96 @@
+"""Unit tests for bit-level I/O."""
+
+import pytest
+
+from repro.compress.bitio import BitIOError, BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_msb_first_packing(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 0, 1, 0, 1, 0):
+            writer.write_bit(bit)
+        assert writer.getvalue() == b"\xaa"
+
+    def test_partial_byte_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes((0b1010_0000,))
+
+    def test_bit_length_tracks_exact_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0x3, 2)
+        writer.write_bits(0x1F, 5)
+        assert writer.bit_length == 7
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(BitIOError):
+            BitWriter().write_bit(2)
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(BitIOError, match="does not fit"):
+            BitWriter().write_bits(8, 3)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(BitIOError):
+            BitWriter().write_bits(0, -1)
+
+    def test_unary(self):
+        writer = BitWriter()
+        writer.write_unary(3)
+        # 1110 padded
+        assert writer.getvalue() == bytes((0b1110_0000,))
+
+    def test_empty_writer(self):
+        assert BitWriter().getvalue() == b""
+
+
+class TestBitReader:
+    def test_read_back_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b110101, 6)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(6) == 0b110101
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(BitIOError, match="exhausted"):
+            reader.read_bit()
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read_bits(5)
+        assert reader.bits_remaining == 11
+
+    def test_unary_roundtrip(self):
+        writer = BitWriter()
+        for value in (0, 1, 5, 13):
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_unary() for _ in range(4)] == [0, 1, 5, 13]
+
+    def test_gamma_roundtrip(self):
+        writer = BitWriter()
+        values = [1, 2, 3, 7, 8, 100, 65535]
+        for value in values:
+            writer.write_gamma(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_gamma() for _ in range(len(values))] == values
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(BitIOError):
+            BitWriter().write_gamma(0)
+
+    def test_interleaved_fields(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bits(0xAB, 8)
+        writer.write_unary(2)
+        writer.write_bits(0x3, 2)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bit() == 1
+        assert reader.read_bits(8) == 0xAB
+        assert reader.read_unary() == 2
+        assert reader.read_bits(2) == 0x3

@@ -1,0 +1,82 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out
+        assert "shared-dict" in out
+        assert "online-profile" in out
+        assert "pre-single" in out
+
+
+class TestInspect:
+    def test_inspect_shows_cfg_and_ratios(self, capsys):
+        assert main(["inspect", "fib"]) == 0
+        out = capsys.readouterr().out
+        assert "basic blocks" in out
+        assert "CFG" in out
+        assert "static compression" in out
+
+    def test_inspect_disasm(self, capsys):
+        assert main(["inspect", "fib", "--disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "fib_loop:" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "nope"])
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        assert main(["run", "fib"]) == 0
+        out = capsys.readouterr().out
+        assert "validation: OK" in out
+        assert "cycles:" in out
+
+    def test_run_with_options(self, capsys):
+        assert main([
+            "run", "gcd", "--codec", "shared-fields",
+            "--strategy", "pre-single", "--k-compress", "4",
+            "--k-decompress", "3", "--predictor", "markov",
+        ]) == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+    def test_run_never_recompress(self, capsys):
+        assert main(["run", "fib", "--k-compress", "0"]) == 0
+        assert "kc" in capsys.readouterr().out
+
+    def test_run_with_budget(self, capsys):
+        assert main(["run", "crc32", "--budget", "4096"]) == 0
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "gcd", "--k-values", "1,4,inf"]) == 0
+        out = capsys.readouterr().out
+        assert "k-edge sweep" in out
+        assert "inf" in out
+
+    def test_sweep_row_count(self, capsys):
+        main(["sweep", "fib", "--k-values", "1,2"])
+        out = capsys.readouterr().out
+        data_rows = [
+            line for line in out.splitlines()
+            if line and line[0].isdigit()
+        ]
+        assert len(data_rows) == 2
+
+
+class TestCompare:
+    def test_compare_strategies(self, capsys):
+        assert main(["compare", "gcd"]) == 0
+        out = capsys.readouterr().out
+        for label in ("uncompressed", "ondemand", "pre-all",
+                      "pre-single"):
+            assert label in out

@@ -1,0 +1,126 @@
+"""Unit tests for dominator analysis and natural-loop detection."""
+
+import pytest
+
+from repro.cfg import (
+    build_cfg,
+    dominates,
+    dominator_sets,
+    find_back_edges,
+    hot_block_estimate,
+    immediate_dominators,
+    loop_nest_depths,
+    natural_loops,
+)
+from repro.isa import assemble
+
+
+@pytest.fixture
+def nested_loop_cfg():
+    return build_cfg(
+        assemble(
+            """
+main:
+    li   r1, 3
+outer:
+    li   r2, 3
+inner:
+    subi r2, r2, 1
+    bne  r2, r0, inner
+    subi r1, r1, 1
+    bne  r1, r0, outer
+    halt
+""",
+            "nested",
+        )
+    )
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self, loop_cfg):
+        idom = immediate_dominators(loop_cfg)
+        assert idom[loop_cfg.entry_id] is None
+
+    def test_entry_dominates_everything(self, loop_cfg):
+        doms = dominator_sets(loop_cfg)
+        for block_id in doms:
+            assert loop_cfg.entry_id in doms[block_id]
+
+    def test_block_dominates_itself(self, loop_cfg):
+        doms = dominator_sets(loop_cfg)
+        for block_id, dominators in doms.items():
+            assert block_id in dominators
+
+    def test_linear_chain_dominance(self):
+        cfg = build_cfg(
+            assemble(
+                "main:\n    nop\na:\n    nop\nb:\n    halt", "chain"
+            )
+        )
+        # in a straight line every earlier block dominates later ones
+        assert dominates(cfg, 0, 1)
+        assert dominates(cfg, 1, 2)
+        assert not dominates(cfg, 2, 0)
+
+    def test_diamond_join_not_dominated_by_arms(self, figure1_cfg):
+        doms = dominator_sets(figure1_cfg)
+        # find the join block: it has two predecessors
+        joins = [
+            b.block_id for b in figure1_cfg.blocks
+            if len(figure1_cfg.predecessors(b.block_id)) >= 2
+            and b.block_id != figure1_cfg.entry_id
+        ]
+        assert joins
+        for join in joins:
+            preds = figure1_cfg.predecessors(join)
+            if len(preds) >= 2:
+                for pred in preds:
+                    # an arm with a sibling cannot dominate the join
+                    siblings = [p for p in preds if p != pred]
+                    if siblings and not any(
+                        dominates(figure1_cfg, pred, s) for s in siblings
+                    ):
+                        assert pred not in doms[join] or pred == join
+
+
+class TestLoops:
+    def test_simple_loop_found(self, loop_cfg):
+        loops = natural_loops(loop_cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        header_block = loop_cfg.block(loop.header)
+        assert header_block.label == "loop"
+
+    def test_self_loop_body_is_single_block(self, loop_cfg):
+        loop = natural_loops(loop_cfg)[0]
+        assert loop.body == {loop.header}
+        assert loop.size == 1
+
+    def test_nested_loops(self, nested_loop_cfg):
+        loops = natural_loops(nested_loop_cfg)
+        assert len(loops) == 2
+        sizes = sorted(loop.size for loop in loops)
+        # inner loop is strictly smaller than the outer one
+        assert sizes[0] < sizes[1]
+
+    def test_nest_depths(self, nested_loop_cfg):
+        depths = loop_nest_depths(nested_loop_cfg)
+        assert max(depths.values()) == 2
+        assert depths[nested_loop_cfg.entry_id] == 0
+
+    def test_back_edges_target_dominators(self, nested_loop_cfg):
+        doms = dominator_sets(nested_loop_cfg)
+        for tail, header in find_back_edges(nested_loop_cfg):
+            assert header in doms[tail]
+
+    def test_hot_estimate_scales_with_depth(self, nested_loop_cfg):
+        hot = hot_block_estimate(nested_loop_cfg)
+        depths = loop_nest_depths(nested_loop_cfg)
+        inner = max(depths, key=depths.get)
+        assert hot[inner] == 100.0
+        assert hot[nested_loop_cfg.entry_id] == 1.0
+
+    def test_acyclic_program_has_no_loops(self):
+        cfg = build_cfg(assemble("main:\n    nop\n    halt", "flat"))
+        assert natural_loops(cfg) == []
+        assert find_back_edges(cfg) == []

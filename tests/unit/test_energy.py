@@ -1,0 +1,112 @@
+"""Unit tests for the traffic/energy extension (Section 2 claims)."""
+
+import pytest
+
+from repro.analysis import EnergyModel, TrafficReport, compare_traffic
+from repro.cfg import build_cfg
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+from repro.workloads import get_workload
+
+_FAST = dict(trace_events=False, record_trace=False)
+
+
+def _run(cfg, **overrides):
+    config = SimulationConfig(**_FAST, **overrides)
+    return CodeCompressionManager(cfg, config).run()
+
+
+@pytest.fixture(scope="module")
+def composite_cfg():
+    return build_cfg(get_workload("composite").program)
+
+
+class TestTrafficCounters:
+    def test_uncompressed_streams_every_entry(self, composite_cfg):
+        result = _run(composite_cfg, decompression="none")
+        expected = sum(
+            composite_cfg.block(b).size_bytes
+            for b in result.block_trace
+        ) if result.block_trace else None
+        # trace recording disabled; recompute via a traced run
+        traced = CodeCompressionManager(
+            composite_cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=True),
+        ).run()
+        expected = sum(
+            composite_cfg.block(b).size_bytes
+            for b in traced.block_trace
+        )
+        assert traced.counters.target_memory_bytes == expected
+        assert result.counters.target_memory_bytes == expected
+
+    def test_compressed_reads_payload_per_materialisation(
+        self, composite_cfg
+    ):
+        manager = CodeCompressionManager(
+            composite_cfg,
+            SimulationConfig(decompression="ondemand", k_compress=None,
+                             **_FAST),
+        )
+        result = manager.run()
+        # never recompress: each touched block materialised exactly once
+        touched_payload = sum(
+            manager.image.block(block_id).compressed_size
+            for block_id in {
+                b for b in range(len(composite_cfg.blocks))
+                if manager.image.is_resident(b)
+            }
+        )
+        assert result.counters.target_memory_bytes == touched_payload
+
+    def test_recompression_causes_refetch_traffic(self, composite_cfg):
+        lazy = _run(composite_cfg, decompression="ondemand",
+                    k_compress=None)
+        churny = _run(composite_cfg, decompression="ondemand",
+                      k_compress=1)
+        assert churny.counters.target_memory_bytes > \
+            lazy.counters.target_memory_bytes
+
+
+class TestTrafficReport:
+    def test_reduction_fraction(self):
+        report = TrafficReport(baseline_bytes=1000, compressed_bytes=400)
+        assert report.reduction == pytest.approx(0.6)
+
+    def test_zero_baseline(self):
+        assert TrafficReport(0, 0).reduction == 0.0
+
+    def test_compare_traffic(self, composite_cfg):
+        base = _run(composite_cfg, decompression="none")
+        compressed = _run(composite_cfg, decompression="ondemand",
+                          k_compress=16)
+        report = compare_traffic(base, compressed)
+        assert report.baseline_bytes == \
+            base.counters.target_memory_bytes
+        assert 0.0 < report.reduction <= 1.0
+
+
+class TestEnergyModel:
+    def test_components(self):
+        model = EnergyModel(bus_nj_per_byte=2.0, cpu_nj_per_cycle=0.5)
+        assert model.traffic_energy(10) == 20.0
+        assert model.decompress_energy(4) == 2.0
+
+    def test_total_energy_positive_for_compressed_run(
+        self, composite_cfg
+    ):
+        result = _run(composite_cfg, decompression="ondemand",
+                      k_compress=16)
+        assert EnergyModel().total_energy(result) > 0
+
+    def test_compression_saves_energy_on_suite_workload(
+        self, composite_cfg
+    ):
+        """Section 2's claim, end to end: less data read -> less energy."""
+        model = EnergyModel()
+        stream = _run(composite_cfg, decompression="none")
+        compressed = _run(composite_cfg, decompression="ondemand",
+                          k_compress=16)
+        assert model.total_energy(compressed) < \
+            model.total_energy(stream)

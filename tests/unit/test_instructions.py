@@ -1,0 +1,122 @@
+"""Unit tests for the instruction definitions."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import (
+    BLOCK_TERMINATORS,
+    BRANCH_OPS,
+    CONDITIONAL_BRANCHES,
+    CycleCosts,
+    Instruction,
+    Opcode,
+)
+
+
+class TestInstructionConstruction:
+    def test_reg_reg_constructor(self):
+        instr = ins.add(1, 2, 3)
+        assert instr.opcode is Opcode.ADD
+        assert (instr.rd, instr.rs1, instr.rs2) == (1, 2, 3)
+
+    def test_reg_imm_constructor(self):
+        instr = ins.addi(4, 5, -7)
+        assert instr.opcode is Opcode.ADDI
+        assert (instr.rd, instr.rs1, instr.imm) == (4, 5, -7)
+
+    def test_load_store_constructors(self):
+        load = ins.ld(1, 2, 8)
+        store = ins.st(3, 4, -4)
+        assert (load.rd, load.rs1, load.imm) == (1, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (3, 4, -4)
+
+    def test_branch_carries_label(self):
+        instr = ins.beq(1, 2, "target")
+        assert instr.target == "target"
+        assert instr.is_branch
+        assert instr.is_conditional
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Instruction(Opcode.ADD, rd=16)
+        with pytest.raises(ValueError, match="out of range"):
+            Instruction(Opcode.ADD, rs1=-1)
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="32 bits"):
+            Instruction(Opcode.LI, rd=1, imm=1 << 31)
+
+    def test_instructions_are_frozen(self):
+        instr = ins.nop()
+        with pytest.raises(Exception):
+            instr.rd = 3  # type: ignore[misc]
+
+    def test_with_imm_returns_new_instruction(self):
+        instr = ins.jmp("label")
+        patched = instr.with_imm(0x40)
+        assert patched.imm == 0x40
+        assert patched.target == "label"
+        assert instr.imm == 0
+
+
+class TestClassification:
+    def test_conditionals_subset_of_branches(self):
+        assert CONDITIONAL_BRANCHES < BRANCH_OPS
+
+    def test_call_is_branch_but_not_terminator(self):
+        assert Opcode.CALL in BRANCH_OPS
+        assert Opcode.CALL not in BLOCK_TERMINATORS
+
+    def test_halt_and_ret_terminate_blocks(self):
+        assert Opcode.HALT in BLOCK_TERMINATORS
+        assert Opcode.RET in BLOCK_TERMINATORS
+
+    def test_alu_is_not_terminator(self):
+        assert not ins.add(1, 2, 3).is_terminator
+
+    def test_jmp_is_terminator(self):
+        assert ins.jmp("x").is_terminator
+
+
+class TestCycleCosts:
+    def test_alu_single_cycle(self):
+        assert CycleCosts.cost(Opcode.ADD) == 1
+        assert CycleCosts.cost(Opcode.XOR) == 1
+
+    def test_multiply_slower_than_add(self):
+        assert CycleCosts.cost(Opcode.MUL) > CycleCosts.cost(Opcode.ADD)
+
+    def test_divide_slowest(self):
+        assert CycleCosts.cost(Opcode.DIV) >= CycleCosts.cost(Opcode.MUL)
+
+    def test_memory_ops_cost(self):
+        assert CycleCosts.cost(Opcode.LD) == CycleCosts.MEM
+        assert CycleCosts.cost(Opcode.ST) == CycleCosts.MEM
+
+    def test_instruction_cycles_property(self):
+        assert ins.mul(1, 2, 3).cycles == CycleCosts.MUL
+        assert ins.nop().cycles == 1
+
+
+class TestRendering:
+    def test_render_reg_reg(self):
+        assert ins.add(1, 2, 3).render() == "add r1, r2, r3"
+
+    def test_render_reg_imm(self):
+        assert ins.addi(1, 2, -5).render() == "addi r1, r2, -5"
+
+    def test_render_memory(self):
+        assert ins.ld(1, 2, 8).render() == "ld r1, 8(r2)"
+        assert ins.st(3, 4, 0).render() == "st r3, 0(r4)"
+
+    def test_render_branch_with_label(self):
+        assert ins.beq(1, 2, "loop").render() == "beq r1, r2, loop"
+
+    def test_render_branch_resolved(self):
+        resolved = ins.jmp("x").with_imm(0x20)
+        assert "0x20" in resolved.render() or "x" in resolved.render()
+
+    def test_render_bare_ops(self):
+        assert ins.ret().render() == "ret"
+        assert ins.halt().render() == "halt"
+        assert ins.nop().render() == "nop"

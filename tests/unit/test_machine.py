@@ -1,0 +1,263 @@
+"""Unit tests for the ISA interpreter."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.isa import RA, SP, assemble
+from repro.runtime import Machine, MachineError
+
+
+def run_to_halt(source: str, data_words: int = 4096):
+    cfg = build_cfg(assemble(source, "t"))
+    machine = Machine(cfg, data_words=data_words)
+    block = cfg.entry
+    cycles = 0
+    while True:
+        outcome = machine.run_block(block)
+        cycles += outcome.cycles
+        if outcome.next_block_id is None:
+            return machine, cycles
+        block = cfg.block(outcome.next_block_id)
+
+
+class TestALU:
+    def test_arithmetic(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, 7
+    li r2, 3
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    div r6, r1, r2
+    mod r7, r1, r2
+    halt
+"""
+        )
+        assert machine.registers[3:8] == [10, 4, 21, 2, 1]
+
+    def test_division_truncates_toward_zero(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, -7
+    li r2, 2
+    div r3, r1, r2
+    mod r4, r1, r2
+    halt
+"""
+        )
+        assert machine.registers[3] == -3  # C-style truncation
+        assert machine.registers[4] == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(MachineError, match="zero"):
+            run_to_halt("main:\n    div r1, r2, r0\n    halt")
+
+    def test_logic_and_shifts(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, 0xF0
+    li r2, 0x3C
+    and r3, r1, r2
+    or  r4, r1, r2
+    xor r5, r1, r2
+    shli r6, r1, 2
+    shri r7, r1, 4
+    halt
+"""
+        )
+        assert machine.registers[3] == 0x30
+        assert machine.registers[4] == 0xFC
+        assert machine.registers[5] == 0xCC
+        assert machine.registers[6] == 0x3C0
+        assert machine.registers[7] == 0x0F
+
+    def test_shift_right_logical_on_negative(self):
+        machine, _ = run_to_halt(
+            "main:\n    li r1, -1\n    shri r2, r1, 28\n    halt"
+        )
+        assert machine.registers[2] == 0xF
+
+    def test_overflow_wraps_to_32_bits(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    lui r1, 0x7FFF
+    ori r1, r1, 0xFFFF
+    addi r1, r1, 1
+    halt
+"""
+        )
+        assert machine.registers[1] == -(1 << 31)
+
+    def test_slt_and_slti(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, -5
+    li r2, 3
+    slt r3, r1, r2
+    slt r4, r2, r1
+    slti r5, r1, 0
+    halt
+"""
+        )
+        assert machine.registers[3:6] == [1, 0, 1]
+
+    def test_lui_ori_builds_32bit_constant(self):
+        machine, _ = run_to_halt(
+            "main:\n    lui r1, 0xEDB8\n    ori r1, r1, 0x8320\n    halt"
+        )
+        assert machine.registers[1] & 0xFFFFFFFF == 0xEDB88320
+
+
+class TestMemory:
+    def test_store_load(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, 0x100
+    li r2, -77
+    st r2, 4(r1)
+    ld r3, 4(r1)
+    halt
+"""
+        )
+        assert machine.registers[3] == -77
+
+    def test_misaligned_access_raises(self):
+        with pytest.raises(MachineError, match="misaligned"):
+            run_to_halt(
+                "main:\n    li r1, 2\n    ld r2, 0(r1)\n    halt"
+            )
+
+    def test_out_of_range_access_raises(self):
+        with pytest.raises(MachineError, match="out of range"):
+            run_to_halt(
+                "main:\n    lui r1, 0x7000\n    ld r2, 0(r1)\n    halt"
+            )
+
+    def test_stack_pointer_initialised_to_top(self):
+        cfg = build_cfg(assemble("main:\n    halt", "t"))
+        machine = Machine(cfg, data_words=1024)
+        assert machine.registers[SP] == 1023 * 4
+
+
+class TestControlFlow:
+    def test_taken_and_fallthrough(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, 1
+    beq r1, r0, skip
+    li r2, 10
+skip:
+    li r3, 20
+    halt
+"""
+        )
+        assert machine.registers[2] == 10  # not taken -> fallthrough
+        assert machine.registers[3] == 20
+
+    def test_loop_executes_expected_count(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    li r1, 5
+    li r2, 0
+loop:
+    addi r2, r2, 1
+    subi r1, r1, 1
+    bne r1, r0, loop
+    halt
+"""
+        )
+        assert machine.registers[2] == 5
+
+    def test_call_sets_link_register(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    call fn
+    halt
+fn:
+    mov r1, ra
+    ret
+"""
+        )
+        assert machine.registers[1] == 4  # return address after call
+
+    def test_nested_calls_with_stack(self):
+        machine, _ = run_to_halt(
+            """
+main:
+    call outer
+    halt
+outer:
+    subi sp, sp, 4
+    st ra, 0(sp)
+    call inner
+    ld ra, 0(sp)
+    addi sp, sp, 4
+    addi r2, r2, 1
+    ret
+inner:
+    addi r1, r1, 1
+    ret
+"""
+        )
+        assert machine.registers[1] == 1
+        assert machine.registers[2] == 1
+
+    def test_halt_stops_machine(self):
+        machine, _ = run_to_halt("main:\n    halt")
+        assert machine.halted
+        with pytest.raises(MachineError, match="halted"):
+            machine.run_block(machine.cfg.entry)
+
+    def test_max_steps_guard(self):
+        cfg = build_cfg(
+            assemble("main:\nloop:\n    jmp loop", "inf")
+        )
+        machine = Machine(cfg, data_words=64, max_steps=100)
+        block = cfg.entry
+        with pytest.raises(MachineError, match="max_steps"):
+            while True:
+                outcome = machine.run_block(block)
+                block = cfg.block(outcome.next_block_id)
+
+    def test_edge_kinds_reported(self):
+        cfg = build_cfg(
+            assemble(
+                "main:\n    beq r0, r0, t\n    nop\nt:\n    halt", "k"
+            )
+        )
+        machine = Machine(cfg)
+        outcome = machine.run_block(cfg.entry)
+        assert outcome.edge_kind == "taken"
+
+    def test_reset_restores_initial_state(self):
+        machine, _ = run_to_halt(
+            "main:\n    li r1, 9\n    st r1, 0(r0)\n    halt"
+        )
+        machine.reset()
+        assert machine.registers[1] == 0
+        assert machine.load_word(0) == 0
+        assert not machine.halted
+        assert machine.steps == 0
+
+
+class TestCycleAccounting:
+    def test_cycles_match_instruction_costs(self):
+        cfg = build_cfg(
+            assemble("main:\n    li r1, 2\n    mul r2, r1, r1\n    halt",
+                     "c")
+        )
+        machine = Machine(cfg)
+        outcome = machine.run_block(cfg.entry)
+        # li (1) + mul (3) + halt (1)
+        assert outcome.cycles == 5
+        assert outcome.instructions == 3

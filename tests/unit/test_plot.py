@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+from repro.analysis.plot import plot_series, plot_timeline, sparkline
+from repro.runtime import FootprintTimeline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_values(self):
+        line = sparkline([5, 5, 5])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_values_monotone_glyphs(self):
+        line = sparkline([0, 25, 50, 75, 100])
+        ranks = [" .:-=+*#%@".index(c) for c in line]
+        assert ranks == sorted(ranks)
+
+    def test_downsamples_to_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+
+class TestPlotTimeline:
+    def _timeline(self):
+        timeline = FootprintTimeline()
+        timeline.record(0, 100)
+        timeline.record(50, 400)
+        timeline.record(80, 200)
+        return timeline
+
+    def test_empty(self):
+        assert "empty" in plot_timeline(FootprintTimeline())
+
+    def test_dimensions(self):
+        chart = plot_timeline(self._timeline(), width=40, height=6)
+        lines = chart.splitlines()
+        # height rows + axis + x labels
+        assert len(lines) == 8
+        assert all("|" in line for line in lines[:6])
+
+    def test_title_included(self):
+        chart = plot_timeline(self._timeline(), title="footprint")
+        assert chart.splitlines()[0] == "footprint"
+
+    def test_peak_row_filled_where_peak_is(self):
+        chart = plot_timeline(self._timeline(), width=40, height=5)
+        top_row = chart.splitlines()[0]
+        assert "#" in top_row
+
+    def test_single_sample(self):
+        timeline = FootprintTimeline()
+        timeline.record(10, 42)
+        chart = plot_timeline(timeline)
+        assert "#" in chart
+
+
+class TestPlotSeries:
+    def test_empty(self):
+        assert "empty" in plot_series([], label="s")
+
+    def test_range_reported(self):
+        text = plot_series([(1, 2.0), (2, 8.0)], label="ovh")
+        assert "min=2" in text and "max=8" in text
+        assert text.startswith("ovh:")

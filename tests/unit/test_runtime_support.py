@@ -1,0 +1,173 @@
+"""Unit tests for events, metrics, and background-thread timelines."""
+
+import pytest
+
+from repro.runtime import (
+    BackgroundWorker,
+    Counters,
+    EventKind,
+    EventLog,
+    FootprintTimeline,
+)
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(0, EventKind.BLOCK_ENTER, 1)
+        log.emit(5, EventKind.FAULT, 2)
+        log.emit(9, EventKind.BLOCK_ENTER, 2)
+        assert len(log) == 3
+        assert log.block_sequence() == [1, 2]
+        assert [e.block_id for e in log.of_kind(EventKind.FAULT)] == [2]
+        assert len(log.for_block(2)) == 2
+
+    def test_disabled_log_drops_events(self):
+        log = EventLog(enabled=False)
+        log.emit(0, EventKind.FAULT, 1)
+        assert len(log) == 0
+
+    def test_capacity_cap(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit(i, EventKind.BLOCK_ENTER, i)
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_render(self):
+        log = EventLog()
+        log.emit(3, EventKind.STALL, 7, detail=12)
+        text = log.render()
+        assert "stall" in text and "B7" in text and "12" in text
+
+    def test_render_limit(self):
+        log = EventLog()
+        for i in range(10):
+            log.emit(i, EventKind.BLOCK_ENTER, i)
+        text = log.render(limit=3)
+        assert "7 more" in text
+
+
+class TestFootprintTimeline:
+    def test_peak(self):
+        timeline = FootprintTimeline()
+        timeline.record(0, 100)
+        timeline.record(10, 300)
+        timeline.record(20, 150)
+        assert timeline.peak == 300
+
+    def test_time_weighted_average(self):
+        timeline = FootprintTimeline()
+        timeline.record(0, 100)
+        timeline.record(10, 200)
+        # [0,10) at 100, [10,20) at 200 -> avg 150
+        assert timeline.average(20) == pytest.approx(150.0)
+
+    def test_same_cycle_overwrites(self):
+        timeline = FootprintTimeline()
+        timeline.record(5, 10)
+        timeline.record(5, 30)
+        assert timeline.samples == [(5, 30)]
+
+    def test_out_of_order_rejected(self):
+        timeline = FootprintTimeline()
+        timeline.record(10, 1)
+        with pytest.raises(ValueError, match="out of order"):
+            timeline.record(5, 2)
+
+    def test_empty_timeline(self):
+        timeline = FootprintTimeline()
+        assert timeline.peak == 0
+        assert timeline.average() == 0.0
+
+    def test_average_at_start_cycle(self):
+        timeline = FootprintTimeline()
+        timeline.record(10, 44)
+        assert timeline.average(10) == 44.0
+
+
+class TestBackgroundWorker:
+    def test_idle_worker_starts_immediately(self):
+        worker = BackgroundWorker("dec")
+        job = worker.schedule(now=100, block_id=1, latency=50)
+        assert job.started_at == 100
+        assert job.completes_at == 150
+
+    def test_busy_worker_queues_fifo(self):
+        worker = BackgroundWorker("dec")
+        worker.schedule(0, 1, 100)
+        second = worker.schedule(10, 2, 50)
+        assert second.started_at == 100
+        assert second.completes_at == 150
+        assert second.queue_delay == 90
+
+    def test_one_job_per_block(self):
+        worker = BackgroundWorker("dec")
+        first = worker.schedule(0, 1, 100)
+        duplicate = worker.schedule(5, 1, 100)
+        assert duplicate is first
+
+    def test_retire_completed(self):
+        worker = BackgroundWorker("dec")
+        worker.schedule(0, 1, 10)
+        worker.schedule(0, 2, 10)
+        done = worker.retire_completed(now=15)
+        assert [job.block_id for job in done] == [1]
+        assert worker.backlog() == 1
+
+    def test_cancel_unstarted_job_refunds_fully(self):
+        worker = BackgroundWorker("dec")
+        worker.schedule(0, 1, 100)
+        worker.schedule(0, 2, 100)  # queued behind, starts at 100
+        worker.cancel(2, now=10)
+        assert worker.busy_cycles == 100  # only job 1's work remains
+        assert worker.free_at == 100
+
+    def test_cancel_rechains_queue(self):
+        worker = BackgroundWorker("dec")
+        worker.schedule(0, 1, 100)
+        worker.schedule(0, 2, 50)
+        third = worker.schedule(0, 3, 50)
+        assert third.completes_at == 200
+        worker.cancel(2, now=10)
+        # job 3 now starts right after job 1
+        assert worker.completion_time(3) == 150
+
+    def test_cancel_inflight_keeps_elapsed(self):
+        worker = BackgroundWorker("dec")
+        worker.schedule(0, 1, 100)
+        worker.cancel(1, now=40)
+        # 40 cycles were actually worked
+        assert worker.busy_cycles == 40
+
+    def test_cancel_unknown_block_is_noop(self):
+        worker = BackgroundWorker("dec")
+        assert worker.cancel(9, now=0) is None
+
+    def test_is_pending(self):
+        worker = BackgroundWorker("dec")
+        worker.schedule(0, 1, 100)
+        assert worker.is_pending(1, now=50)
+        assert not worker.is_pending(1, now=100)
+
+    def test_contention_charges_fraction(self):
+        worker = BackgroundWorker("dec", contention=0.5)
+        worker.schedule(0, 1, 100)
+        assert worker.contention_cycles() == 50
+
+    def test_invalid_contention_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundWorker("dec", contention=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundWorker("dec").schedule(0, 1, -1)
+
+
+class TestCounters:
+    def test_prediction_accuracy(self):
+        counters = Counters()
+        assert counters.prediction_accuracy == 0.0
+        counters.predictions = 4
+        counters.correct_predictions = 3
+        assert counters.prediction_accuracy == 0.75

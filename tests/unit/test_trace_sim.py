@@ -1,0 +1,102 @@
+"""Unit tests for trace-driven simulation."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+from repro.runtime import MachineError, TraceMachine, simulate_trace
+from repro.workloads import get_workload
+
+_FAST = dict(trace_events=False, record_trace=False)
+
+
+@pytest.fixture(scope="module")
+def traced_workload():
+    workload = get_workload("dijkstra")
+    cfg = build_cfg(workload.program)
+    base = CodeCompressionManager(
+        cfg,
+        SimulationConfig(decompression="none", trace_events=False,
+                         record_trace=True),
+    ).run()
+    return cfg, base.block_trace
+
+
+class TestTraceMachine:
+    def test_replays_trace(self, loop_cfg):
+        trace = [loop_cfg.entry_id]
+        trace.append(loop_cfg.successors(trace[-1])[0])
+        machine = TraceMachine(loop_cfg, trace)
+        outcome = machine.run_block(loop_cfg.entry)
+        assert outcome.next_block_id == trace[1]
+        outcome = machine.run_block(loop_cfg.block(trace[1]))
+        assert outcome.next_block_id is None
+        assert machine.halted
+
+    def test_rejects_empty_trace(self, loop_cfg):
+        with pytest.raises(ValueError, match="at least one"):
+            TraceMachine(loop_cfg, [])
+
+    def test_rejects_wrong_entry(self, loop_cfg):
+        exit_id = loop_cfg.exit_ids[0]
+        with pytest.raises(ValueError, match="entry"):
+            TraceMachine(loop_cfg, [exit_id])
+
+    def test_rejects_impossible_transition(self, loop_cfg):
+        exit_id = loop_cfg.exit_ids[0]
+        with pytest.raises(ValueError, match="impossible"):
+            TraceMachine(loop_cfg, [loop_cfg.entry_id, exit_id])
+
+    def test_detects_divergence(self, loop_cfg):
+        trace = [loop_cfg.entry_id,
+                 loop_cfg.successors(loop_cfg.entry_id)[0]]
+        machine = TraceMachine(loop_cfg, trace)
+        wrong = loop_cfg.block(loop_cfg.exit_ids[0])
+        with pytest.raises(MachineError, match="divergence"):
+            machine.run_block(wrong)
+
+    def test_cycle_costs_match_static_block_costs(self, loop_cfg):
+        trace = [loop_cfg.entry_id]
+        machine = TraceMachine(loop_cfg, trace)
+        outcome = machine.run_block(loop_cfg.entry)
+        assert outcome.cycles == loop_cfg.entry.cycle_cost
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("config", [
+        SimulationConfig(decompression="ondemand", k_compress=2, **_FAST),
+        SimulationConfig(decompression="ondemand", k_compress=None,
+                         **_FAST),
+        SimulationConfig(decompression="pre-all", k_compress=8,
+                         k_decompress=2, **_FAST),
+        SimulationConfig(decompression="pre-single", k_compress=8,
+                         k_decompress=2, **_FAST),
+    ])
+    def test_trace_metrics_match_full_simulation(self, traced_workload,
+                                                 config):
+        cfg, trace = traced_workload
+        full = CodeCompressionManager(cfg, config).run()
+        traced = simulate_trace(cfg, trace, config)
+        assert traced.total_cycles == full.total_cycles
+        assert traced.counters.faults == full.counters.faults
+        assert traced.counters.decompressions == \
+            full.counters.decompressions
+        assert traced.counters.stall_cycles == \
+            full.counters.stall_cycles
+        assert traced.peak_footprint == full.peak_footprint
+        assert traced.average_footprint == \
+            pytest.approx(full.average_footprint)
+
+    def test_trace_sweep_is_usable_for_k_exploration(self,
+                                                     traced_workload):
+        cfg, trace = traced_workload
+        footprints = []
+        for k in (1, 8, 64):
+            result = simulate_trace(
+                cfg, trace,
+                SimulationConfig(decompression="ondemand", k_compress=k,
+                                 **_FAST),
+            )
+            footprints.append(result.average_footprint)
+        assert footprints == sorted(footprints)

@@ -1,0 +1,115 @@
+"""Unit tests for the recency-window compression policy (E12 ablation)."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+from repro.strategies import RecencyWindowCompression
+from repro.workloads import get_workload
+
+_FAST = dict(trace_events=False, record_trace=True)
+
+
+class FakeView:
+    def __init__(self, resident):
+        self.resident = set(resident)
+
+    def resident_units(self):
+        return set(self.resident)
+
+
+class TestPolicyMechanics:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            RecencyWindowCompression(0)
+
+    def test_oldest_evicted_beyond_window(self):
+        policy = RecencyWindowCompression(2)
+        policy.bind(FakeView(resident={1, 2, 3}))
+        for unit in (1, 2, 3):
+            policy.on_unit_enter(unit)
+        expired = policy.on_edge(3, 4)
+        assert expired == [1]
+        assert policy.tracked == 2
+
+    def test_reuse_refreshes_recency(self):
+        policy = RecencyWindowCompression(2)
+        policy.bind(FakeView(resident={1, 2, 3}))
+        policy.on_unit_enter(1)
+        policy.on_unit_enter(2)
+        policy.on_unit_enter(1)  # 1 is fresh again
+        policy.on_unit_enter(3)
+        expired = policy.on_edge(3, 4)
+        assert expired == [2]
+
+    def test_destination_never_expired(self):
+        policy = RecencyWindowCompression(1)
+        policy.bind(FakeView(resident={1, 2}))
+        policy.on_unit_enter(1)
+        policy.on_unit_enter(2)
+        # unit 1 is oldest, but it is the destination of this edge
+        expired = policy.on_edge(2, 1)
+        assert 1 not in expired
+
+    def test_released_units_forget_slots(self):
+        policy = RecencyWindowCompression(4)
+        policy.bind(FakeView(resident={1}))
+        policy.on_unit_enter(1)
+        policy.on_unit_released(1)
+        assert policy.tracked == 0
+
+    def test_within_window_nothing_expires(self):
+        policy = RecencyWindowCompression(8)
+        policy.bind(FakeView(resident={1, 2, 3}))
+        for unit in (1, 2, 3):
+            policy.on_unit_enter(unit)
+        assert policy.on_edge(3, 1) == []
+
+
+class TestSystemIntegration:
+    def test_transparent_under_window_policy(self):
+        workload = get_workload("quicksort")
+        cfg = build_cfg(workload.program)
+        base = CodeCompressionManager(
+            cfg, SimulationConfig(decompression="none", **_FAST)
+        ).run()
+        manager = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="ondemand", k_compress=1,
+                             **_FAST),
+            compression_policy=RecencyWindowCompression(4),
+        )
+        result = manager.run()
+        assert workload.validate(manager.machine) == []
+        assert result.registers == base.registers
+        assert result.block_trace == base.block_trace
+
+    def test_bigger_window_keeps_more_resident(self):
+        workload = get_workload("fsm")
+        cfg = build_cfg(workload.program)
+        footprints = []
+        for window in (2, 8, 32):
+            result = CodeCompressionManager(
+                cfg,
+                SimulationConfig(decompression="ondemand", k_compress=1,
+                                 trace_events=False, record_trace=False),
+                compression_policy=RecencyWindowCompression(window),
+            ).run()
+            footprints.append(result.average_footprint)
+        assert footprints == sorted(footprints)
+
+    def test_decompression_override_also_injectable(self):
+        from repro.strategies import OnDemandDecompression
+
+        workload = get_workload("fib")
+        cfg = build_cfg(workload.program)
+        manager = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="pre-all",
+                             trace_events=False, record_trace=False),
+            decompression_policy=OnDemandDecompression(),
+        )
+        result = manager.run()
+        # the override wins: no pre-decompressions happened
+        assert result.counters.background_decompress_cycles == 0

@@ -1,0 +1,24 @@
+# Developer/CI entry points.  `make verify` is the gate every change
+# must pass: tier-1 tests plus the perf microbenchmarks in smoke mode
+# (which fail on any codec-output divergence from the frozen seed
+# implementation in src/repro/compress/reference.py).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke experiments verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro.cli bench
+
+bench-smoke:
+	$(PYTHON) -m repro.cli bench --smoke --no-write
+
+experiments:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+verify: test bench-smoke
+	@echo "verify OK: tier-1 tests green, fast-path output matches seed"

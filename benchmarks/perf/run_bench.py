@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Run the performance microbenchmarks and write ``BENCH_core.json``
+at the repository root.
+
+This is a thin, path-independent wrapper around
+``python -m repro.cli bench`` (see :mod:`repro.analysis.bench` for what
+is measured): it can be invoked from any working directory and always
+drops the report next to the repository's top-level files, so the perf
+trajectory is comparable PR-over-PR.
+
+Usage::
+
+    python benchmarks/perf/run_bench.py [--smoke] [--no-write]
+
+``--smoke`` is the fast CI mode (smaller corpus, fewer repeats); the
+exit code is non-zero when a fast-path output diverges from the seed
+implementation.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main  # noqa: E402  (path set up above)
+
+if __name__ == "__main__":
+    argv = ["bench", *sys.argv[1:]]
+    if "--output" not in argv and "--no-write" not in argv:
+        argv += ["--output", str(REPO_ROOT / "BENCH_core.json")]
+    sys.exit(main(argv))

@@ -23,6 +23,7 @@ from repro.analysis import Table, percent
 from repro.cfg import build_cfg
 from repro.core import SimulationConfig
 from repro.core.manager import CodeCompressionManager
+from repro.runtime import PreparedTrace, simulate_trace
 from repro.strategies import RecencyWindowCompression
 
 K_VALUES = (1, 2, 4, 8, 16)
@@ -31,19 +32,38 @@ WINDOWS = (2, 3, 4, 8, 16)
 _FAST = dict(trace_events=False, record_trace=False)
 
 
-def _run_kedge(cfg, k):
-    return CodeCompressionManager(
+def _record_trace(cfg):
+    """One interpreted run (uncompressed) records the block trace that
+    every policy point replays — the shared-artifact fast path."""
+    manager = CodeCompressionManager(
         cfg,
+        SimulationConfig(decompression="none", trace_events=False,
+                         record_trace=True),
+    )
+    result = manager.run()
+    if result.counters.blocks_executed != len(manager.block_trace):
+        raise RuntimeError(
+            f"block trace truncated at the recording cap "
+            f"({len(manager.block_trace)} of "
+            f"{result.counters.blocks_executed} blocks); replaying it "
+            f"would silently skew the frontier metrics"
+        )
+    return PreparedTrace(cfg, manager.block_trace)
+
+
+def _run_kedge(cfg, trace, k):
+    return simulate_trace(
+        cfg, trace,
         SimulationConfig(decompression="ondemand", k_compress=k, **_FAST),
-    ).run()
+    )
 
 
-def _run_window(cfg, window):
-    return CodeCompressionManager(
-        cfg,
+def _run_window(cfg, trace, window):
+    return simulate_trace(
+        cfg, trace,
         SimulationConfig(decompression="ondemand", k_compress=1, **_FAST),
         compression_policy=RecencyWindowCompression(window),
-    ).run()
+    )
 
 
 def run_experiment(workloads):
@@ -55,9 +75,10 @@ def run_experiment(workloads):
     frontiers = {}
     for workload in workloads:
         cfg = build_cfg(workload.program)
+        trace = _record_trace(cfg)
         kedge_points = []
         for k in K_VALUES:
-            result = _run_kedge(cfg, k)
+            result = _run_kedge(cfg, trace, k)
             table.add_row(
                 workload.name, "k-edge", k,
                 int(result.average_footprint),
@@ -69,7 +90,7 @@ def run_experiment(workloads):
             )
         window_points = []
         for window in WINDOWS:
-            result = _run_window(cfg, window)
+            result = _run_window(cfg, trace, window)
             table.add_row(
                 workload.name, "window", window,
                 int(result.average_footprint),
@@ -97,6 +118,7 @@ def test_e12_kedge_vs_window(small_suite, benchmark):
     record_experiment("e12_kedge_vs_window", table.render())
 
     cfg = build_cfg(small_suite[0].program)
+    trace = _record_trace(cfg)
     benchmark.pedantic(
-        lambda: _run_window(cfg, 4), rounds=1, iterations=1
+        lambda: _run_window(cfg, trace, 4), rounds=1, iterations=1
     )

@@ -28,7 +28,11 @@ def _config(k):
 
 
 def run_experiment(workloads):
-    result = sweep(workloads, [_config(k) for k in K_VALUES])
+    # Shared-artifact trace engine: one interpreted run per workload,
+    # the other k points replay its trace (identical metrics, much
+    # faster — see repro.analysis.sweep).
+    result = sweep(workloads, [_config(k) for k in K_VALUES],
+                   engine="trace")
     assert not result.failures(), [
         run.validation for run in result.failures()
     ]

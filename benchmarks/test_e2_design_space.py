@@ -32,7 +32,9 @@ _CONFIGS = [
 
 
 def run_experiment(workloads):
-    result = sweep(workloads, _CONFIGS)
+    # Trace engine: the uncompressed baseline cell records the trace,
+    # the three compressed strategies replay it.
+    result = sweep(workloads, _CONFIGS, engine="trace")
     assert not result.failures()
 
     table = Table(

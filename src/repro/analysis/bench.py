@@ -1,0 +1,276 @@
+"""Performance microbenchmarks: ``python -m repro.cli bench``.
+
+Times the two hot paths this project optimises and verifies, while doing
+so, that the fast paths are *exact*:
+
+* **codec round-trips** — compress+decompress over a corpus of real
+  block bytes and synthetic buffers, per codec.  The Huffman round-trip
+  is additionally timed against the frozen seed implementation
+  (:mod:`repro.compress.reference`) and the payloads are checked
+  byte-for-byte.
+* **E1 k-edge sweep** — the same (workload x k) grid run through the
+  interpreting engine and the trace-replay engine
+  (:func:`repro.analysis.sweep.sweep` with ``engine="trace"``), with
+  every cell's metrics compared.
+
+Results are written as ``BENCH_core.json`` (at the invoking directory's
+root by default) so the performance trajectory is tracked PR-over-PR.
+Any payload or metric mismatch marks the run failed — the ``verify``
+make target treats that as a hard error.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..cfg import build_cfg
+from ..compress.codec import get_codec
+from ..compress.reference import (
+    reference_huffman_compress,
+    reference_huffman_decompress,
+)
+from ..compress.stats import block_bytes
+from ..core.config import SimulationConfig
+from ..workloads import generate_sized_program, get_workload
+from .sweep import sweep
+
+#: Codecs timed by the round-trip benchmark (self-contained formats).
+BENCH_CODECS = ("huffman", "lzw", "lz77", "rle", "dictionary",
+                "shared-dict", "shared-huffman")
+
+#: Workloads whose encoded blocks form the benchmark corpus.
+_CORPUS_WORKLOADS = ("composite", "dijkstra", "crc32")
+
+#: Size of the synthetic whole-application buffer in the corpus (the
+#: decompressor-sized input where the per-byte loops dominate).
+_LARGE_BUFFER_BYTES = 16_000
+_SMOKE_BUFFER_BYTES = 4_000
+
+#: E1-style sweep grid used for the wall-clock comparison (a
+#: representative slice of the E1 experiment suite).
+_SWEEP_WORKLOADS = ("composite", "cold_paths", "dijkstra", "adpcm")
+_SWEEP_K_VALUES = (1, 2, 4, 8, 16, 32, None)
+
+#: Metrics every (machine, trace) cell pair must agree on exactly.
+_COMPARED_METRICS = (
+    "total_cycles", "execution_cycles", "average_footprint",
+    "peak_footprint", "compressed_size", "uncompressed_size",
+)
+_COMPARED_COUNTERS = (
+    "faults", "stalls", "stall_cycles", "decompressions",
+    "recompressions", "patches", "evictions", "blocks_executed",
+)
+
+
+def _corpus(smoke: bool) -> List[bytes]:
+    """Benchmark inputs: real block bytes plus whole-program buffers."""
+    corpus: List[bytes] = []
+    programs: List[bytes] = []
+    for name in _CORPUS_WORKLOADS[: 1 if smoke else None]:
+        cfg = build_cfg(get_workload(name).program)
+        blocks = [block_bytes(block) for block in cfg.blocks]
+        corpus.extend(blocks)
+        programs.append(b"".join(blocks))
+    # Whole-program buffers exercise the batch paths; block-sized
+    # entries exercise per-call overhead.
+    corpus.extend(programs)
+    # One application-sized buffer of real ISA-encoded instructions —
+    # the input size where per-byte loop cost dominates fixed cost.
+    target = _SMOKE_BUFFER_BYTES if smoke else _LARGE_BUFFER_BYTES
+    big = generate_sized_program(seed=7, target_bytes=target)
+    corpus.append(b"".join(
+        block_bytes(block) for block in build_cfg(big).blocks
+    ))
+    return corpus
+
+
+def _time(action: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``action``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_huffman_roundtrip(smoke: bool = False) -> Dict[str, object]:
+    """Huffman round-trip: batched/table-driven vs. the seed code.
+
+    Also asserts the compressed payloads are byte-identical; a mismatch
+    is reported in the result and fails the benchmark run.
+    """
+    corpus = _corpus(smoke)
+    codec = get_codec("huffman")
+    payloads_equal = all(
+        codec.compress(data) == reference_huffman_compress(data)
+        and codec.decompress(codec.compress(data)) == data
+        for data in corpus
+    )
+    repeats = 2 if smoke else 5
+
+    def fast() -> None:
+        for data in corpus:
+            codec.decompress(codec.compress(data))
+
+    def reference() -> None:
+        for data in corpus:
+            reference_huffman_decompress(reference_huffman_compress(data))
+
+    fast_s = _time(fast, repeats)
+    reference_s = _time(reference, repeats)
+    return {
+        "fast_s": fast_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / fast_s if fast_s else float("inf"),
+        "payloads_byte_identical": payloads_equal,
+        "corpus_buffers": len(corpus),
+        "corpus_bytes": sum(len(d) for d in corpus),
+    }
+
+
+def bench_codec_roundtrips(smoke: bool = False) -> Dict[str, Dict[str, float]]:
+    """Round-trip throughput for every benchmarked codec."""
+    corpus = _corpus(smoke)
+    total_bytes = sum(len(d) for d in corpus)
+    repeats = 1 if smoke else 3
+    out: Dict[str, Dict[str, float]] = {}
+    for name in BENCH_CODECS:
+        codec = get_codec(name)
+
+        def roundtrip() -> None:
+            for data in corpus:
+                codec.decompress(codec.compress(data))
+
+        seconds = _time(roundtrip, repeats)
+        out[name] = {
+            "seconds": seconds,
+            "mb_per_s": (total_bytes / 1e6) / seconds if seconds else 0.0,
+        }
+    return out
+
+
+def _sweep_configs() -> List[SimulationConfig]:
+    return [
+        SimulationConfig(codec="shared-dict", decompression="ondemand",
+                         k_compress=k)
+        for k in _SWEEP_K_VALUES
+    ]
+
+
+def _results_equal(machine_runs, trace_runs) -> bool:
+    """Cell-by-cell metric equality between the two sweep engines."""
+    if len(machine_runs) != len(trace_runs):
+        return False
+    for left, right in zip(machine_runs, trace_runs):
+        for metric in _COMPARED_METRICS:
+            if getattr(left.result, metric) != getattr(
+                right.result, metric
+            ):
+                return False
+        for counter in _COMPARED_COUNTERS:
+            if getattr(left.result.counters, counter) != getattr(
+                right.result.counters, counter
+            ):
+                return False
+    return True
+
+
+def bench_e1_sweep(smoke: bool = False) -> Dict[str, object]:
+    """E1 k-edge sweep: interpreting engine vs. trace-replay engine."""
+    workloads = [
+        get_workload(name)
+        for name in _SWEEP_WORKLOADS[: 1 if smoke else None]
+    ]
+    configs = _sweep_configs()
+    if smoke:
+        configs = configs[:3]
+    repeats = 1 if smoke else 2
+
+    machine_result = sweep(workloads, configs, engine="machine")
+    trace_result = sweep(workloads, configs, engine="trace")
+    metrics_equal = _results_equal(machine_result.runs, trace_result.runs)
+
+    machine_s = _time(
+        lambda: sweep(workloads, configs, engine="machine"), repeats
+    )
+    trace_s = _time(
+        lambda: sweep(workloads, configs, engine="trace"), repeats
+    )
+    return {
+        "workloads": [w.name for w in workloads],
+        "cells": len(configs) * len(workloads),
+        "machine_s": machine_s,
+        "trace_s": trace_s,
+        "speedup": machine_s / trace_s if trace_s else float("inf"),
+        "metrics_equal": metrics_equal,
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
+    """Run the full benchmark suite and return the report dict.
+
+    ``report["ok"]`` is False when any exactness check failed (payload
+    mismatch or engine metric divergence).
+    """
+    huffman = bench_huffman_roundtrip(smoke)
+    codecs = bench_codec_roundtrips(smoke)
+    e1 = bench_e1_sweep(smoke)
+    ok = bool(huffman["payloads_byte_identical"]) and bool(
+        e1["metrics_equal"]
+    )
+    return {
+        "schema": "bench_core/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "huffman_roundtrip": huffman,
+        "codec_roundtrips": codecs,
+        "e1_sweep": e1,
+        "ok": ok,
+    }
+
+
+def write_report(
+    report: Dict[str, object], output: Optional[Path] = None
+) -> Path:
+    """Write ``report`` as JSON (default: ``BENCH_core.json`` in cwd)."""
+    path = Path(output) if output is not None else Path("BENCH_core.json")
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a benchmark report."""
+    huffman = report["huffman_roundtrip"]
+    e1 = report["e1_sweep"]
+    lines = [
+        "codec round-trips"
+        f" ({huffman['corpus_buffers']} buffers,"
+        f" {huffman['corpus_bytes']} bytes):",
+    ]
+    for name, stats in report["codec_roundtrips"].items():
+        lines.append(
+            f"  {name:14s} {stats['seconds'] * 1000:8.1f} ms"
+            f"  ({stats['mb_per_s']:6.2f} MB/s)"
+        )
+    lines.append(
+        f"huffman vs seed: {huffman['fast_s'] * 1000:.1f} ms vs "
+        f"{huffman['reference_s'] * 1000:.1f} ms "
+        f"-> {huffman['speedup']:.2f}x "
+        f"(payloads identical: {huffman['payloads_byte_identical']})"
+    )
+    lines.append(
+        f"E1 sweep ({', '.join(e1['workloads'])}; {e1['cells']} cells): "
+        f"machine {e1['machine_s'] * 1000:.0f} ms vs trace "
+        f"{e1['trace_s'] * 1000:.0f} ms -> {e1['speedup']:.2f}x "
+        f"(metrics equal: {e1['metrics_equal']})"
+    )
+    lines.append(f"ok: {report['ok']}")
+    return "\n".join(lines)

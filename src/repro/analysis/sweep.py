@@ -4,6 +4,25 @@ One call = one grid of (workload x configuration) simulations, returned as
 :class:`SweepResult` for table/series extraction.  Simulation runs are
 deliberately sequential and deterministic (no threads, no wall-clock
 dependence) so experiment output is stable across machines.
+
+Two execution engines are available:
+
+* ``engine="machine"`` interprets every instruction of every grid cell —
+  the gold standard, and the default.
+* ``engine="trace"`` is the shared-artifact fast path: per workload, the
+  CFG is built once, the *first* grid cell runs interpreted with trace
+  recording on, and every remaining cell replays that block trace through
+  :func:`~repro.runtime.trace_sim.simulate_trace`.  Compressed payloads
+  are shared across cells via the
+  :func:`~repro.memory.image.compression_artifacts` cache, so identical
+  block bytes are never recompressed.  Compression policy is transparent
+  to program semantics (the differential-oracle integration tests enforce
+  this), so the recorded block sequence is valid for every configuration
+  and the resulting metrics are identical to machine-driven metrics —
+  asserted by ``tests/integration/test_trace_sweep_equivalence.py``.
+  Replayed cells reuse the recording cell's oracle validation (replay
+  does not model register state).  If a trace overflows the recording
+  cap, the sweep falls back to the interpreting engine for that workload.
 """
 
 from __future__ import annotations
@@ -13,10 +32,14 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..cfg.builder import ProgramCFG, build_cfg
 from ..core.config import SimulationConfig
-from ..core.manager import CodeCompressionManager
+from ..core.manager import _TRACE_CAP, CodeCompressionManager
 from ..isa.program import Program
 from ..runtime.metrics import SimulationResult
+from ..runtime.trace_sim import PreparedTrace, simulate_trace
 from ..workloads.suite import Workload
+
+#: Sweep execution engines (see module docstring).
+SWEEP_ENGINES = ("machine", "trace")
 
 
 @dataclass
@@ -91,16 +114,29 @@ def sweep(
     configs: Sequence[SimulationConfig],
     fast: bool = True,
     max_blocks: Optional[int] = None,
+    engine: str = "machine",
 ) -> SweepResult:
     """Run the full (workload x config) grid.
 
     ``fast=True`` disables event/trace recording (the counters and
     footprint timeline are unaffected).  CFGs are built once per workload
-    and shared across configs.
+    and shared across configs.  ``engine`` selects between interpreting
+    every cell (``"machine"``) and the trace-replay fast path
+    (``"trace"``) — see the module docstring for the contract.
     """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine '{engine}'; available: {SWEEP_ENGINES}"
+        )
     out = SweepResult()
     for workload in workloads:
         graph = build_cfg(workload.program)
+        if engine == "trace":
+            out.runs.extend(
+                _trace_sweep_workload(workload, graph, configs, fast,
+                                      max_blocks)
+            )
+            continue
         for config in configs:
             effective = config.replace(**_FAST) if fast else config
             out.runs.append(
@@ -108,6 +144,57 @@ def sweep(
                         max_blocks=max_blocks)
             )
     return out
+
+
+def _trace_sweep_workload(
+    workload: Workload,
+    graph: ProgramCFG,
+    configs: Sequence[SimulationConfig],
+    fast: bool,
+    max_blocks: Optional[int],
+) -> List[SweepRun]:
+    """One workload's grid row under the trace engine.
+
+    The first config runs interpreted (recording the block trace); the
+    remaining configs replay it.  Falls back to interpreting everything
+    when the trace was truncated by the recording cap.
+    """
+    runs: List[SweepRun] = []
+    # Record with trace capture on, but report the cell under the
+    # caller's effective config (recording changes no other metric).
+    recording = configs[0].replace(trace_events=False, record_trace=True) \
+        if fast else configs[0].replace(record_trace=True)
+    effective_first = configs[0].replace(**_FAST) if fast else configs[0]
+    manager = CodeCompressionManager(graph, recording)
+    result = manager.run(max_blocks=max_blocks)
+    validation = workload.validate(manager.machine)
+    trace = result.block_trace
+    complete = trace and result.counters.blocks_executed == len(trace) \
+        and len(trace) < _TRACE_CAP
+    prepared = PreparedTrace(graph, trace) if complete else None
+    if not effective_first.record_trace:
+        # The caller asked for no trace in the result; drop the (up to
+        # _TRACE_CAP-entry) list now that the replay has its own copy.
+        result.block_trace = []
+    runs.append(
+        SweepRun(workload=workload.name, config=effective_first,
+                 result=result, validation=validation)
+    )
+    for config in configs[1:]:
+        effective = config.replace(**_FAST) if fast else config
+        if complete:
+            replayed = simulate_trace(graph, prepared, effective,
+                                      max_blocks=max_blocks)
+            runs.append(
+                SweepRun(workload=workload.name, config=effective,
+                         result=replayed, validation=list(validation))
+            )
+        else:
+            runs.append(
+                run_one(workload, effective, cfg=graph,
+                        max_blocks=max_blocks)
+            )
+    return runs
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -30,6 +30,12 @@ class BasicBlock:
     start_index: int
     instructions: List[Instruction]
     label: Optional[str] = None
+    # Lazily memoized sum of instruction cycle costs; instructions are
+    # immutable after CFG construction (the runtime reads cycle_cost on
+    # every block entry).
+    _cycle_cost: Optional[int] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.instructions:
@@ -86,7 +92,11 @@ class BasicBlock:
     @property
     def cycle_cost(self) -> int:
         """Sum of base cycle costs of the block's instructions."""
-        return sum(instr.cycles for instr in self.instructions)
+        if self._cycle_cost is None:
+            self._cycle_cost = sum(
+                instr.cycles for instr in self.instructions
+            )
+        return self._cycle_cost
 
     def branch_targets(self) -> List[int]:
         """Byte addresses this block's branch instructions jump to.

@@ -6,7 +6,10 @@ Subcommands:
 * ``inspect``  — disassembly + CFG + static compression of a workload;
 * ``run``      — simulate one workload under one configuration;
 * ``sweep``    — k-edge sweep table for one workload;
-* ``compare``  — Figure 3 design-space comparison for one workload.
+* ``compare``  — Figure 3 design-space comparison for one workload;
+* ``bench``    — performance microbenchmarks, written to
+  ``BENCH_core.json`` (codec round-trips vs. the seed implementation
+  and the machine- vs. trace-engine E1 sweep).
 
 All output is plain text, suitable for piping into experiment notes.
 """
@@ -185,6 +188,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if not result.failures() else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.bench import render_report, run_benchmarks, write_report
+
+    report = run_benchmarks(smoke=args.smoke)
+    print(render_report(report))
+    if not args.no_write:
+        try:
+            path = write_report(report, args.output)
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"\n[report written to {path}]")
+    if not report["ok"]:
+        print("BENCH FAILED: fast-path output diverged from the seed "
+              "implementation", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=available_workloads())
     _add_config_arguments(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run performance microbenchmarks "
+                      "(writes BENCH_core.json)"
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI mode: smaller corpus, fewer repeats",
+    )
+    bench_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="report path (default: ./BENCH_core.json)",
+    )
+    bench_parser.add_argument(
+        "--no-write", action="store_true",
+        help="print the report without writing the JSON file",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     return parser
 

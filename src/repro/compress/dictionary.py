@@ -75,14 +75,15 @@ class DictionaryCodec(Codec):
         }
 
         writer = BitWriter()
+        hit_flag = 1 << index_bits
         for word in words:
             index = index_of.get(word)
             if index is not None:
-                writer.write_bit(1)
-                writer.write_bits(index, index_bits)
+                # Flag bit and index emitted as one batched field.
+                writer.write_bits(hit_flag | index, index_bits + 1)
             else:
-                writer.write_bit(0)
-                writer.write_bits(int.from_bytes(word, "big"), 32)
+                # Flag bit 0 + 32 literal bits = one 33-bit field.
+                writer.write_bits(int.from_bytes(word, "big"), 33)
         for byte in tail:
             writer.write_bits(byte, 8)
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .bitio import BitIOError, BitReader, BitWriter
 from .codec import Codec, CodecCosts, CodecError, register_codec
@@ -90,6 +90,148 @@ def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
     return codes
 
 
+class CanonicalDecoder:
+    """Table-driven decoder for a canonical Huffman code.
+
+    Instead of probing a ``(code, length)`` dict one bit at a time, the
+    decoder peeks ``max_length`` bits and walks the per-length first-code
+    /offset tables (the classic CodePack/zlib idiom): a canonical code of
+    length ``L`` decodes as ``symbols[base[L] + top_L_bits - first[L]]``
+    where ``first[L]`` is the smallest code of that length.  One peek and
+    a handful of integer compares replace up to 15 dict probes per symbol.
+
+    A one-level 256-entry root table resolves every code of up to 8 bits
+    (the overwhelmingly common case) with a single indexed load; longer
+    codes fall back to the first-code walk over lengths 9..15.
+    """
+
+    _ROOT_BITS = 8
+    _PEEK_BITS = 16  # root byte + up to 8 more bits covers length <= 15
+
+    __slots__ = (
+        "max_length", "_first", "_base", "_count", "_symbols", "_root"
+    )
+
+    def __init__(self, lengths: Dict[int, int]) -> None:
+        if not lengths:
+            raise ValueError("cannot build a decoder for an empty code")
+        self.max_length = max(lengths.values())
+        if self.max_length > self._PEEK_BITS:
+            raise ValueError(
+                f"code depth {self.max_length} exceeds the decoder's "
+                f"{self._PEEK_BITS}-bit peek window"
+            )
+        count = [0] * (self.max_length + 1)
+        for length in lengths.values():
+            count[length] += 1
+        # Symbols in canonical order (sorted by (length, symbol)) — the
+        # same order _canonical_codes assigns codes in.
+        self._symbols = [
+            symbol for _, symbol in sorted(
+                (length, symbol) for symbol, length in lengths.items()
+            )
+        ]
+        first = [0] * (self.max_length + 1)
+        base = [0] * (self.max_length + 1)
+        code = 0
+        index = 0
+        for length in range(1, self.max_length + 1):
+            first[length] = code
+            base[length] = index
+            code = (code + count[length]) << 1
+            index += count[length]
+        self._first = first
+        self._base = base
+        self._count = count
+        # Root table: every 8-bit prefix whose top bits are a code of
+        # length <= 8 maps straight to (symbol, length).
+        root: List[Optional[Tuple[int, int]]] = [None] * (
+            1 << self._ROOT_BITS
+        )
+        index = 0
+        for length in range(1, min(self.max_length, self._ROOT_BITS) + 1):
+            for i in range(count[length]):
+                entry = (self._symbols[base[length] + i], length)
+                prefix = (first[length] + i) << (self._ROOT_BITS - length)
+                span = 1 << (self._ROOT_BITS - length)
+                root[prefix : prefix + span] = [entry] * span
+        self._root = root
+
+    def read_symbol(self, reader: BitReader) -> int:
+        """Decode one symbol from ``reader``, consuming its code bits.
+
+        Raises :class:`BitIOError` when the stream ends mid-code and
+        :class:`ValueError` when the bits match no code word.
+        """
+        window = reader.peek_bits(self._PEEK_BITS)
+        entry = self._root[window >> (self._PEEK_BITS - self._ROOT_BITS)]
+        if entry is not None:
+            symbol, length = entry
+        else:
+            symbol, length = self._decode_slow(
+                window, reader.bits_remaining
+            )
+        if length > reader.bits_remaining:
+            raise BitIOError("bit stream exhausted")
+        reader.skip_bits(length)
+        return symbol
+
+    def _decode_slow(self, window: int, remaining: int) -> Tuple[int, int]:
+        """Resolve a code longer than the root table covers.
+
+        ``window`` holds the next ``_PEEK_BITS`` stream bits
+        (zero-padded); returns ``(symbol, length)``.
+        """
+        max_length = self.max_length
+        first = self._first
+        count = self._count
+        peeked = window >> (self._PEEK_BITS - max_length)
+        for length in range(self._ROOT_BITS + 1, max_length + 1):
+            if not count[length]:
+                continue
+            offset = (peeked >> (max_length - length)) - first[length]
+            if offset < count[length]:
+                return self._symbols[self._base[length] + offset], length
+        if remaining < max_length:
+            raise BitIOError("bit stream exhausted")
+        raise ValueError("invalid huffman code in stream")
+
+    def decode_block(self, data: bytes, count: int) -> bytes:
+        """Decode ``count`` symbols from ``data`` in one tight loop.
+
+        The batched equivalent of ``count`` :meth:`read_symbol` calls on a
+        fresh reader over ``data`` — used by the block decompressors where
+        the symbol count is known up front and no other fields interleave
+        with the code words.
+        """
+        root = self._root
+        peek_bits = self._PEEK_BITS
+        root_shift = peek_bits - self._ROOT_BITS
+        from_bytes = int.from_bytes
+        total = len(data) * 8
+        pos = 0
+        out = bytearray(count)
+        for i in range(count):
+            byte_index = pos >> 3
+            segment = data[byte_index : byte_index + 3]
+            have = (len(segment) << 3) - (pos & 7)
+            value = from_bytes(segment, "big")
+            if have >= peek_bits:
+                window = (value >> (have - peek_bits)) & 0xFFFF
+            else:
+                window = (value << (peek_bits - have)) & 0xFFFF
+            entry = root[window >> root_shift]
+            if entry is not None:
+                symbol, length = entry
+            else:
+                symbol, length = self._decode_slow(window, total - pos)
+            pos += length
+            if pos > total:
+                raise BitIOError("bit stream exhausted")
+            out[i] = symbol
+        return bytes(out)
+
+
 @register_codec("huffman")
 class HuffmanCodec(Codec):
     """Canonical Huffman over individual bytes."""
@@ -110,11 +252,28 @@ class HuffmanCodec(Codec):
 
         lengths = _code_lengths(frequencies)
         codes = _canonical_codes(lengths)
-        writer = BitWriter()
+        # Dense 256-entry encode table: one tuple load per input byte
+        # instead of a dict probe (absent symbols never occur in data).
+        encode_table: List[Optional[Tuple[int, int]]] = [None] * 256
+        for symbol, pair in codes.items():
+            encode_table[symbol] = pair
+        # Inlined batched bit packing (same layout as BitWriter): codes
+        # accumulate into a small int and completed bytes drain at once.
+        stream = bytearray()
+        append = stream.append
+        acc = 0
+        filled = 0
         for byte in data:
-            code, length = codes[byte]
-            writer.write_bits(code, length)
-        bitstream = writer.getvalue()
+            code, length = encode_table[byte]  # type: ignore[misc]
+            acc = (acc << length) | code
+            filled += length
+            while filled >= 8:
+                filled -= 8
+                append((acc >> filled) & 0xFF)
+            acc &= (1 << filled) - 1
+        if filled:
+            append((acc << (8 - filled)) & 0xFF)
+        bitstream = bytes(stream)
 
         header = bytearray((_TAG_HUFFMAN,))
         header += len(data).to_bytes(4, "big")
@@ -158,27 +317,14 @@ class HuffmanCodec(Codec):
                 lengths[pair_start] = packed >> 4
             if packed & 0xF:
                 lengths[pair_start + 1] = packed & 0xF
-        codes = _canonical_codes(lengths)
-        decode_table: Dict[Tuple[int, int], int] = {
-            (code, length): symbol
-            for symbol, (code, length) in codes.items()
-        }
-
-        reader = BitReader(payload[5 + 128 :])
-        out = bytearray()
+        if original_length == 0:
+            return b""
+        if not lengths:
+            raise CodecError("invalid huffman code in stream")
+        decoder = CanonicalDecoder(lengths)
         try:
-            while len(out) < original_length:
-                code = 0
-                length = 0
-                while True:
-                    code = (code << 1) | reader.read_bit()
-                    length += 1
-                    if length > _MAX_CODE_LENGTH:
-                        raise CodecError("invalid huffman code in stream")
-                    symbol = decode_table.get((code, length))
-                    if symbol is not None:
-                        out.append(symbol)
-                        break
+            return decoder.decode_block(payload[5 + 128 :], original_length)
         except BitIOError as exc:
             raise CodecError(f"huffman stream truncated: {exc}") from exc
-        return bytes(out)
+        except ValueError:
+            raise CodecError("invalid huffman code in stream") from None

@@ -35,7 +35,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from .bitio import BitIOError, BitReader, BitWriter
 from .codec import Codec, CodecCosts, CodecError, register_codec
-from .huffman import _canonical_codes, _code_lengths, _MAX_CODE_LENGTH
+from .huffman import CanonicalDecoder, _canonical_codes, _code_lengths
 
 _TAG_RAW = 0
 _TAG_CODED = 1
@@ -178,18 +178,22 @@ class SharedDictionaryCodec(SharedModelCodec):
 
     def _encode_body(self, data: bytes) -> bytes:
         writer = BitWriter()
+        write_bits = writer.write_bits
+        index_of = self._index_of
+        index_bits = self._index_bits
+        hit_flag = 1 << index_bits
         word_count = len(data) // _WORD
         for i in range(word_count):
             word = data[i * _WORD : (i + 1) * _WORD]
-            index = self._index_of.get(word)
+            index = index_of.get(word)
             if index is not None:
-                writer.write_bit(1)
-                writer.write_bits(index, self._index_bits)
+                # Flag bit and index emitted as one batched field.
+                write_bits(hit_flag | index, index_bits + 1)
             else:
-                writer.write_bit(0)
-                writer.write_bits(int.from_bytes(word, "big"), 32)
+                # Flag bit 0 + 32 literal bits = one 33-bit field.
+                write_bits(int.from_bytes(word, "big"), 33)
         for byte in data[word_count * _WORD :]:
-            writer.write_bits(byte, 8)
+            write_bits(byte, 8)
         return writer.getvalue()
 
     def _decode_body(self, body: bytes, length: int) -> bytes:
@@ -236,10 +240,8 @@ class _ByteHuffmanModel:
         seen[_ESCAPE] = max(1, sum(seen.values()) // max(1, len(seen) * 8))
         lengths = _code_lengths(Counter(seen))
         self.codes = _canonical_codes(lengths)
-        self.decode_table = {
-            (code, length): symbol
-            for symbol, (code, length) in self.codes.items()
-        }
+        self._decoder = CanonicalDecoder(lengths)
+        self._escape_pair = self.codes[_ESCAPE]
 
     @property
     def size_bytes(self) -> int:
@@ -250,26 +252,23 @@ class _ByteHuffmanModel:
     def write_symbol(self, writer: BitWriter, symbol: int) -> None:
         entry = self.codes.get(symbol)
         if entry is None:
-            code, length = self.codes[_ESCAPE]
-            writer.write_bits(code, length)
-            writer.write_bits(symbol, 8)
+            # Escape then literal, fused into one batched field write.
+            code, length = self._escape_pair
+            writer.write_bits((code << 8) | symbol, length + 8)
             return
         code, length = entry
         writer.write_bits(code, length)
 
     def read_symbol(self, reader: BitReader) -> int:
-        code = 0
-        length = 0
-        while True:
-            code = (code << 1) | reader.read_bit()
-            length += 1
-            if length > _MAX_CODE_LENGTH:
-                raise CodecError("invalid shared huffman code")
-            symbol = self.decode_table.get((code, length))
-            if symbol is not None:
-                if symbol == _ESCAPE:
-                    return reader.read_bits(8)
-                return symbol
+        try:
+            symbol = self._decoder.read_symbol(reader)
+        except BitIOError:
+            raise
+        except ValueError:
+            raise CodecError("invalid shared huffman code") from None
+        if symbol == _ESCAPE:
+            return reader.read_bits(8)
+        return symbol
 
 
 @register_codec("shared-huffman")

@@ -29,7 +29,12 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 from ..cfg.builder import ProgramCFG
 from ..cfg.profile import EdgeProfile
 from ..compress.codec import get_codec
-from ..memory.image import CodeImage, InPlaceImage, SeparateAreaImage
+from ..memory.image import (
+    CodeImage,
+    InPlaceImage,
+    SeparateAreaImage,
+    compression_artifacts,
+)
 from ..memory.remember_set import BranchSite, RememberSets
 from ..runtime.events import EventKind, EventLog
 from ..runtime.machine import Machine
@@ -72,7 +77,6 @@ class CodeCompressionManager:
         self.config = config or SimulationConfig()
         self._compression_override = compression_policy
         self._decompression_override = decompression_policy
-        self.codec = get_codec(self.config.codec)
         self.machine = Machine(
             cfg,
             data_words=self.config.data_words,
@@ -101,12 +105,23 @@ class CodeCompressionManager:
                 block.block_id: {block.block_id} for block in cfg.blocks
             }
 
+        # Compression products (trained codec, payloads, plaintexts) are
+        # pure functions of (cfg, codec name) and shared across managers,
+        # so sweep grid cells never recompress identical block bytes.
         if self._uncompressed_mode:
+            self.codec = get_codec(self.config.codec)
             self.image: Optional[CodeImage] = None
-        elif self.config.image_scheme == "inplace":
-            self.image = InPlaceImage(cfg, self.codec)
         else:
-            self.image = SeparateAreaImage(cfg, self.codec)
+            artifacts = compression_artifacts(cfg, self.config.codec)
+            self.codec = artifacts.codec
+            if self.config.image_scheme == "inplace":
+                self.image = InPlaceImage(
+                    cfg, self.codec, artifacts=artifacts
+                )
+            else:
+                self.image = SeparateAreaImage(
+                    cfg, self.codec, artifacts=artifacts
+                )
 
         # ---- policies ----------------------------------------------
         # Policy instances may be injected for ablations (E12); the
@@ -154,6 +169,11 @@ class CodeCompressionManager:
 
         # ---- residency bookkeeping ---------------------------------
         self.remember = RememberSets()
+        # Unit geometry is immutable; sizes/latencies memoize on first use.
+        self._unit_size_cache: Dict[int, int] = {}
+        self._unit_latency_cache: Dict[int, int] = {}
+        # A block's terminator branch site never changes either.
+        self._site_cache: Dict[int, BranchSite] = {}
         self._ready_at: Dict[int, int] = {}  # unit -> completion cycle
         self._used_since_decompress: Dict[int, bool] = {}
         self._pending_predictions: Deque[Tuple[int, int]] = deque()
@@ -187,15 +207,23 @@ class CodeCompressionManager:
 
     def unit_uncompressed_size(self, unit_id: int) -> int:
         """Uncompressed bytes of all blocks in ``unit_id``."""
-        return sum(
-            self.cfg.block(block_id).size_bytes
-            for block_id in self._unit_blocks[unit_id]
-        )
+        size = self._unit_size_cache.get(unit_id)
+        if size is None:
+            size = sum(
+                self.cfg.block(block_id).size_bytes
+                for block_id in self._unit_blocks[unit_id]
+            )
+            self._unit_size_cache[unit_id] = size
+        return size
 
     def _unit_decompress_latency(self, unit_id: int) -> int:
-        return self.codec.costs.decompress_latency(
-            self.unit_uncompressed_size(unit_id)
-        )
+        latency = self._unit_latency_cache.get(unit_id)
+        if latency is None:
+            latency = self.codec.costs.decompress_latency(
+                self.unit_uncompressed_size(unit_id)
+            )
+            self._unit_latency_cache[unit_id] = latency
+        return latency
 
     def _footprint_now(self) -> int:
         if self.image is None:
@@ -214,6 +242,12 @@ class CodeCompressionManager:
         assert self.image is not None
         for block_id in sorted(self._unit_blocks[unit_id]):
             self.image.decompress(block_id)
+            # Materialise the actual bytes (discarding them): an
+            # undecodable payload must fail on the executed path, not
+            # only under verify_block.  The shared memo bounds the cost
+            # to one decode per block per (cfg, codec) — repeated
+            # faults, and other sweep cells, never re-run the codec.
+            self.image.block_data(block_id)
             # Section 2 traffic model: materialisation streams the
             # compressed payload out of the target memory.
             self.counters.target_memory_bytes += (
@@ -321,8 +355,11 @@ class CodeCompressionManager:
         if came_from is not None and self.is_unit_resident(
             self.unit_of(came_from)
         ):
-            terminator_index = len(self.cfg.block(came_from)) - 1
-            site = BranchSite(came_from, terminator_index)
+            site = self._site_cache.get(came_from)
+            if site is None:
+                terminator_index = len(self.cfg.block(came_from)) - 1
+                site = BranchSite(came_from, terminator_index)
+                self._site_cache[came_from] = site
 
         if not self.is_unit_resident(unit_id):
             # Full memory-protection fault (Figure 5 steps 2, 4, 9).

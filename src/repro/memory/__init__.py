@@ -10,9 +10,11 @@ from .image import (
     BlockImage,
     CodeImage,
     CompressedCodeFault,
+    CompressionArtifacts,
     ImageError,
     InPlaceImage,
     SeparateAreaImage,
+    compression_artifacts,
 )
 from .remember_set import BranchSite, RememberSets
 
@@ -22,6 +24,8 @@ __all__ = [
     "BranchSite",
     "CodeImage",
     "CompressedCodeFault",
+    "CompressionArtifacts",
+    "compression_artifacts",
     "FragmentationReport",
     "FragmentationTimeline",
     "FreeHole",

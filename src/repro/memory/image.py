@@ -17,7 +17,8 @@ measure the fragmentation difference.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..cfg.builder import ProgramCFG
@@ -26,9 +27,71 @@ from ..compress.codec import (
     CodecError,
     compress_for_image,
     decompress_for_image,
+    get_codec,
 )
 from ..compress.stats import block_bytes
 from .allocator import AllocationError, FreeListAllocator
+
+
+@dataclass
+class CompressionArtifacts:
+    """Immutable per-(CFG, codec) compression products, shared by every
+    simulation that uses the same program and codec.
+
+    Block bytes never change during a simulation and codecs are
+    deterministic, so the encoded block bytes, the trained codec model,
+    the compressed payloads, and the decompressed plaintexts are all pure
+    functions of (CFG, codec name).  Parameter sweeps construct one
+    manager — and therefore one code image — per grid cell; without this
+    cache every cell re-trains the codec and re-compresses every block
+    from scratch.
+
+    ``plaintext`` memoizes decompressed block bytes on first fault so
+    repeated faults on the same unit (within a run or across grid cells)
+    never re-run the codec.
+    """
+
+    codec: Codec
+    block_data: List[bytes]
+    payloads: List[bytes]
+    plaintext: Dict[int, bytes] = field(default_factory=dict)
+
+
+#: (CFG -> codec name -> artifacts); weak keys so CFGs die normally.
+_ARTIFACT_CACHE: "weakref.WeakKeyDictionary[ProgramCFG, Dict[str, CompressionArtifacts]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compression_artifacts(
+    cfg: ProgramCFG, codec_name: str
+) -> CompressionArtifacts:
+    """Return (building on first use) the shared artifacts for
+    ``(cfg, codec_name)``.
+
+    The returned codec instance is trained (for shared-model codecs) and
+    must be treated as read-only; the payload list is indexed by block id.
+    """
+    try:
+        per_codec = _ARTIFACT_CACHE[cfg]
+    except KeyError:
+        per_codec = _ARTIFACT_CACHE.setdefault(cfg, {})
+    artifacts = per_codec.get(codec_name)
+    if artifacts is None:
+        codec = get_codec(codec_name)
+        block_data = [block_bytes(block) for block in cfg.blocks]
+        if hasattr(codec, "train") and not getattr(
+            codec, "is_trained", True
+        ):
+            codec.train(block_data)
+        payloads = [
+            compress_for_image(codec, data) for data in block_data
+        ]
+        artifacts = CompressionArtifacts(
+            codec=codec, block_data=block_data, payloads=payloads
+        )
+        per_codec[codec_name] = artifacts
+    return artifacts
 
 
 class ImageError(RuntimeError):
@@ -70,14 +133,32 @@ class BlockImage:
 
 
 class CodeImage(abc.ABC):
-    """Interface shared by the two image schemes."""
+    """Interface shared by the two image schemes.
 
-    def __init__(self, cfg: ProgramCFG, codec: Codec) -> None:
+    Passing precomputed ``artifacts`` (see :func:`compression_artifacts`)
+    skips per-image codec training and block compression and shares the
+    decompressed-bytes memo across every image built for the same
+    (CFG, codec) pair — the sweep fast path.
+    """
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        codec: Codec,
+        artifacts: Optional[CompressionArtifacts] = None,
+    ) -> None:
         self.cfg = cfg
         self.codec = codec
         self.blocks: List[BlockImage] = []
         self.decompress_count = 0
         self.release_count = 0
+        self._artifacts = artifacts
+        self._plaintext = artifacts.plaintext if artifacts else {}
+        # Payload sizes never change after construction; the image-size
+        # sums below are cached on first use (footprint_bytes queries
+        # them on every materialise/release).
+        self._compressed_image_size: Optional[int] = None
+        self._uncompressed_image_size: Optional[int] = None
         # Shared-model codecs (CodePack-style) train on the whole image
         # at link time; the model's size is charged once, below.
         if hasattr(codec, "train") and not getattr(
@@ -87,6 +168,12 @@ class CodeImage(abc.ABC):
         self.model_overhead = int(
             getattr(codec, "model_overhead_bytes", 0)
         )
+
+    def _payload(self, block) -> bytes:
+        """Compressed payload for ``block`` (precomputed when shared)."""
+        if self._artifacts is not None:
+            return self._artifacts.payloads[block.block_id]
+        return compress_for_image(self.codec, block_bytes(block))
 
     # -- abstract -------------------------------------------------------
 
@@ -142,15 +229,21 @@ class CodeImage(abc.ABC):
     def compressed_image_size(self) -> int:
         """Total compressed payload bytes (plus the shared codec model,
         if any) — the paper's minimum image."""
-        return (
-            sum(b.compressed_size for b in self.blocks)
-            + self.model_overhead
-        )
+        if self._compressed_image_size is None:
+            self._compressed_image_size = (
+                sum(len(b.compressed_payload) for b in self.blocks)
+                + self.model_overhead
+            )
+        return self._compressed_image_size
 
     @property
     def uncompressed_image_size(self) -> int:
         """Total uncompressed code bytes — the no-compression image."""
-        return sum(b.uncompressed_size for b in self.blocks)
+        if self._uncompressed_image_size is None:
+            self._uncompressed_image_size = sum(
+                b.uncompressed_size for b in self.blocks
+            )
+        return self._uncompressed_image_size
 
     @property
     def compression_ratio(self) -> float:
@@ -165,6 +258,26 @@ class CodeImage(abc.ABC):
         return self.codec.costs.decompress_latency(
             self.blocks[block_id].uncompressed_size
         )
+
+    def block_data(self, block_id: int) -> bytes:
+        """Decompressed bytes of ``block_id``'s payload, memoized.
+
+        Payloads are immutable for the lifetime of an image, so the codec
+        runs at most once per block — repeated faults on the same unit
+        (and, when the image was built from shared artifacts, the same
+        block in other grid cells of a sweep) are served from the memo.
+        Use :meth:`verify_block` for integrity checks; this accessor
+        trusts the cache.
+        """
+        data = self._plaintext.get(block_id)
+        if data is None:
+            block = self.blocks[block_id]
+            data = decompress_for_image(
+                self.codec, block.compressed_payload,
+                block.uncompressed_size,
+            )
+            self._plaintext[block_id] = data
+        return data
 
     def verify_block(self, block_id: int) -> bool:
         """Check payload integrity: decompressing yields the block bytes.
@@ -198,11 +311,12 @@ class SeparateAreaImage(CodeImage):
         codec: Codec,
         capacity: Optional[int] = None,
         alignment: int = 4,
+        artifacts: Optional[CompressionArtifacts] = None,
     ) -> None:
-        super().__init__(cfg, codec)
+        super().__init__(cfg, codec, artifacts=artifacts)
         cursor = 0
         for block in cfg.blocks:
-            payload = compress_for_image(codec, block_bytes(block))
+            payload = self._payload(block)
             self.blocks.append(
                 BlockImage(
                     block_id=block.block_id,
@@ -261,8 +375,9 @@ class InPlaceImage(CodeImage):
         codec: Codec,
         capacity: Optional[int] = None,
         alignment: int = 4,
+        artifacts: Optional[CompressionArtifacts] = None,
     ) -> None:
-        super().__init__(cfg, codec)
+        super().__init__(cfg, codec, artifacts=artifacts)
         self.allocator = FreeListAllocator(
             base=0, capacity=capacity, alignment=alignment
         )
@@ -271,7 +386,7 @@ class InPlaceImage(CodeImage):
         self.compaction_bytes_moved = 0
         self._slot: Dict[int, int] = {}  # block id -> current slot address
         for block in cfg.blocks:
-            payload = compress_for_image(codec, block_bytes(block))
+            payload = self._payload(block)
             address = self.allocator.allocate(max(len(payload), 1))
             self.blocks.append(
                 BlockImage(

@@ -4,7 +4,7 @@ from .events import Event, EventKind, EventLog
 from .machine import BlockOutcome, Machine, MachineError
 from .metrics import Counters, FootprintTimeline, SimulationResult
 from .threads import BackgroundWorker, Job
-from .trace_sim import TraceMachine, simulate_trace
+from .trace_sim import PreparedTrace, TraceMachine, simulate_trace
 
 __all__ = [
     "BackgroundWorker",
@@ -17,6 +17,7 @@ __all__ = [
     "Job",
     "Machine",
     "MachineError",
+    "PreparedTrace",
     "SimulationResult",
     "TraceMachine",
     "simulate_trace",

@@ -149,17 +149,23 @@ class Machine:
                 divisor = registers[instr.rs2]
                 if divisor == 0:
                     raise MachineError("division by zero")
-                self._set(
-                    instr.rd, int(registers[instr.rs1] / divisor)
-                )
+                # Truncating division in exact integer arithmetic (C
+                # semantics); float division would round for operands
+                # beyond 2**53.
+                dividend = registers[instr.rs1]
+                quotient = abs(dividend) // abs(divisor)
+                if (dividend < 0) != (divisor < 0):
+                    quotient = -quotient
+                self._set(instr.rd, quotient)
             elif op is Opcode.MOD:
                 divisor = registers[instr.rs2]
                 if divisor == 0:
                     raise MachineError("modulo by zero")
-                quotient = int(registers[instr.rs1] / divisor)
-                self._set(
-                    instr.rd, registers[instr.rs1] - quotient * divisor
-                )
+                dividend = registers[instr.rs1]
+                quotient = abs(dividend) // abs(divisor)
+                if (dividend < 0) != (divisor < 0):
+                    quotient = -quotient
+                self._set(instr.rd, dividend - quotient * divisor)
             elif op is Opcode.AND:
                 self._set(instr.rd, registers[instr.rs1] & registers[instr.rs2])
             elif op is Opcode.OR:

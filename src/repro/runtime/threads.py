@@ -151,6 +151,8 @@ class BackgroundWorker:
 
     def retire_completed(self, now: int) -> List[Job]:
         """Remove and return jobs completed by ``now``."""
+        if not self._pending:
+            return []
         done = [
             job for job in self._pending.values() if job.completes_at <= now
         ]

@@ -21,19 +21,20 @@ machine-driven metrics exactly for the same program and configuration.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..cfg.builder import ProgramCFG
 from .machine import BlockOutcome, MachineError
 
 
-class TraceMachine:
-    """Drop-in replacement for :class:`~repro.runtime.machine.Machine`
-    that replays a prerecorded block trace.
+class PreparedTrace:
+    """A validated trace with its per-step outcomes precomputed.
 
-    Register/memory state is not modelled (``registers`` stays zeroed);
-    cycle costs come from each block's static instruction costs, which is
-    exactly what the interpreting machine charges.
+    Sweeps replay the same trace through many configurations; validating
+    edges and building :class:`~repro.runtime.machine.BlockOutcome`
+    objects once — instead of once per grid cell — removes the dominant
+    per-cell replay setup cost.  Outcomes are frozen dataclasses, so
+    sharing them across :class:`TraceMachine` instances is safe.
     """
 
     def __init__(self, cfg: ProgramCFG, trace: Sequence[int]) -> None:
@@ -52,6 +53,43 @@ class TraceMachine:
                 )
         self.cfg = cfg
         self.trace = list(trace)
+        last = len(trace) - 1
+        self.outcomes: List[BlockOutcome] = []
+        for position, block_id in enumerate(self.trace):
+            block = cfg.block(block_id)
+            self.outcomes.append(
+                BlockOutcome(
+                    block_id,
+                    self.trace[position + 1] if position < last else None,
+                    block.cycle_cost,
+                    len(block.instructions),
+                )
+            )
+
+
+class TraceMachine:
+    """Drop-in replacement for :class:`~repro.runtime.machine.Machine`
+    that replays a prerecorded block trace.
+
+    Register/memory state is not modelled (``registers`` stays zeroed);
+    cycle costs come from each block's static instruction costs, which is
+    exactly what the interpreting machine charges.  Accepts either a raw
+    block-id sequence or a :class:`PreparedTrace` (which skips the
+    per-instance validation).
+    """
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        trace: Union[PreparedTrace, Sequence[int]],
+    ) -> None:
+        if not isinstance(trace, PreparedTrace):
+            trace = PreparedTrace(cfg, trace)
+        elif trace.cfg is not cfg:
+            raise ValueError("prepared trace belongs to a different CFG")
+        self.cfg = cfg
+        self.trace = trace.trace
+        self._outcomes = trace.outcomes
         self.position = 0
         self.registers: List[int] = [0] * 16
         self.halted = False
@@ -61,41 +99,44 @@ class TraceMachine:
         """Replay one step of the trace."""
         if self.halted:
             raise MachineError("trace machine is halted")
-        expected = self.trace[self.position]
-        if block.block_id != expected:
+        position = self.position
+        outcome = self._outcomes[position]
+        if block.block_id != outcome.block_id:
             raise MachineError(
                 f"trace divergence: asked to run B{block.block_id}, "
-                f"trace position {self.position} expects B{expected}"
+                f"trace position {position} expects B{outcome.block_id}"
             )
-        cycles = block.cycle_cost
-        self.steps += len(block.instructions)
-        self.position += 1
-        if self.position >= len(self.trace):
+        self.steps += outcome.instructions
+        self.position = position + 1
+        if outcome.next_block_id is None:
             self.halted = True
-            return BlockOutcome(
-                block.block_id, None, cycles, len(block.instructions)
-            )
-        return BlockOutcome(
-            block.block_id,
-            self.trace[self.position],
-            cycles,
-            len(block.instructions),
-        )
+        return outcome
 
 
 def simulate_trace(
     cfg: ProgramCFG,
-    trace: Sequence[int],
+    trace: Union[PreparedTrace, Sequence[int]],
     config=None,
     max_blocks: Optional[int] = None,
+    compression_policy=None,
+    decompression_policy=None,
 ):
     """Run the compression machinery over a recorded block trace.
 
     Returns the same :class:`~repro.runtime.metrics.SimulationResult` a
     full simulation would, except ``registers`` are not modelled.
+    ``compression_policy``/``decompression_policy`` are optional policy
+    instances forwarded to the manager (for ablations such as E12 that
+    inject non-config policies into a trace replay).  Pass a
+    :class:`PreparedTrace` when replaying the same trace many times.
     """
     from ..core.manager import CodeCompressionManager
 
-    manager = CodeCompressionManager(cfg, config)
+    manager = CodeCompressionManager(
+        cfg,
+        config,
+        compression_policy=compression_policy,
+        decompression_policy=decompression_policy,
+    )
     manager.machine = TraceMachine(cfg, trace)
     return manager.run(max_blocks=max_blocks)

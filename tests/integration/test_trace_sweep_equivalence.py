@@ -1,0 +1,101 @@
+"""Trace-driven sweep metrics must equal machine-driven metrics.
+
+The shared-artifact sweep engine (``sweep(..., engine="trace")``)
+replays one recorded block trace per workload instead of interpreting
+every grid cell.  Because compression policy is transparent to program
+semantics, every metric the experiments consume — cycles, counters,
+footprint timeline, image sizes — must come out *exactly* equal.
+These tests pin that contract on the kernel suite, including the E12
+policy-injection path.
+"""
+
+import pytest
+
+from repro.analysis import sweep
+from repro.cfg import build_cfg
+from repro.core import SimulationConfig
+from repro.core.manager import CodeCompressionManager
+from repro.runtime import PreparedTrace, simulate_trace
+from repro.strategies import RecencyWindowCompression
+from repro.workloads import get_workload
+
+_FAST = dict(trace_events=False, record_trace=False)
+
+#: Kernel suite slice used for the grid comparison (kept small enough
+#: for test time; the bench compares a larger grid on every run).
+_WORKLOADS = ("composite", "cold_paths", "fsm", "gcd")
+
+_CONFIGS = [
+    SimulationConfig(decompression="ondemand", k_compress=1),
+    SimulationConfig(decompression="ondemand", k_compress=8),
+    SimulationConfig(decompression="ondemand", k_compress=None),
+    SimulationConfig(decompression="pre-all", k_compress=8,
+                     k_decompress=2),
+    SimulationConfig(decompression="pre-single", k_compress=8,
+                     k_decompress=2),
+]
+
+_METRICS = (
+    "total_cycles", "execution_cycles", "average_footprint",
+    "peak_footprint", "average_saving", "peak_saving",
+    "cycle_overhead", "compressed_size", "uncompressed_size",
+)
+
+
+def _assert_results_equal(left, right, context):
+    for metric in _METRICS:
+        assert getattr(left, metric) == getattr(right, metric), \
+            f"{context}: {metric}"
+    assert left.counters == right.counters, f"{context}: counters"
+    assert left.footprint.samples == right.footprint.samples, \
+        f"{context}: footprint timeline"
+
+
+class TestSweepEngineEquivalence:
+    @pytest.mark.parametrize("name", _WORKLOADS)
+    def test_grid_metrics_identical(self, name):
+        workload = get_workload(name)
+        machine = sweep([workload], _CONFIGS, engine="machine")
+        trace = sweep([workload], _CONFIGS, engine="trace")
+        assert len(machine.runs) == len(trace.runs)
+        for m_run, t_run in zip(machine.runs, trace.runs):
+            assert m_run.config.strategy_name == \
+                t_run.config.strategy_name
+            _assert_results_equal(
+                m_run.result, t_run.result,
+                f"{name}/{m_run.config.strategy_name}",
+            )
+            assert t_run.ok == m_run.ok
+
+    def test_trace_engine_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown sweep engine"):
+            sweep([get_workload("gcd")], _CONFIGS[:1], engine="warp")
+
+    def test_policy_injection_replay_matches_machine(self):
+        # The E12 path: a non-config compression policy injected into a
+        # trace replay must match the interpreted run with the same
+        # policy.
+        workload = get_workload("cold_paths")
+        cfg = build_cfg(workload.program)
+        recorder = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=True),
+        )
+        recorder.run()
+        prepared = PreparedTrace(cfg, recorder.block_trace)
+        for window in (2, 4, 8):
+            config = SimulationConfig(
+                decompression="ondemand", k_compress=1, **_FAST
+            )
+            interpreted = CodeCompressionManager(
+                cfg, config,
+                compression_policy=RecencyWindowCompression(window),
+            ).run()
+            replayed = simulate_trace(
+                cfg, prepared, config,
+                compression_policy=RecencyWindowCompression(window),
+            )
+            _assert_results_equal(
+                interpreted, replayed, f"window={window}"
+            )

@@ -44,6 +44,26 @@ class TestBitWriter:
     def test_empty_writer(self):
         assert BitWriter().getvalue() == b""
 
+    def test_write_bytes_aligned(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\xde\xad\xbe\xef")
+        assert writer.bit_length == 32
+        assert writer.getvalue() == b"\xde\xad\xbe\xef"
+
+    def test_write_bytes_unaligned(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        payload = bytes(range(256)) * 3  # spans multiple chunks
+        writer.write_bytes(payload)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bit() == 1
+        assert reader.read_bytes(len(payload)) == payload
+
+    def test_oversized_value_rejected_for_wide_fields(self):
+        # width >= 64 must be range-checked too (seed gap).
+        with pytest.raises(BitIOError, match="does not fit"):
+            BitWriter().write_bits(1 << 64, 64)
+
 
 class TestBitReader:
     def test_read_back_bits(self):
@@ -63,6 +83,26 @@ class TestBitReader:
         assert reader.bits_remaining == 16
         reader.read_bits(5)
         assert reader.bits_remaining == 11
+
+    def test_read_bytes_aligned_and_unaligned(self):
+        reader = BitReader(b"\xab\xcd\xef")
+        assert reader.read_bytes(2) == b"\xab\xcd"
+        reader = BitReader(b"\xab\xcd\xef")
+        reader.read_bits(4)
+        assert reader.read_bytes(2) == b"\xbc\xde"
+        with pytest.raises(BitIOError, match="exhausted"):
+            reader.read_bytes(2)
+
+    def test_skip_and_peek(self):
+        reader = BitReader(b"\xf0\x0f")
+        assert reader.peek_bits(4) == 0xF
+        assert reader.bit_position == 0
+        reader.skip_bits(4)
+        assert reader.read_bits(8) == 0x00
+        # Peeking past the end pads with zeros without consuming.
+        assert reader.peek_bits(16) == 0xF << 12
+        with pytest.raises(BitIOError, match="exhausted"):
+            reader.skip_bits(5)
 
     def test_unary_roundtrip(self):
         writer = BitWriter()

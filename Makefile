@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke experiments verify
+.PHONY: test bench bench-smoke experiments examples verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,5 +20,17 @@ bench-smoke:
 experiments:
 	$(PYTHON) -m pytest benchmarks/ -q
 
-verify: test bench-smoke
-	@echo "verify OK: tier-1 tests green, fast-path output matches seed"
+# Smoke-run every public-API example (they assert their own
+# invariants), plus the sample spec file through the CLI, so the
+# documented entry points can never rot.
+examples:
+	@set -e; for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) "$$f" > /dev/null; \
+	done
+	$(PYTHON) -m repro exp --spec examples/specs/kedge_grid.json \
+		> /dev/null
+	@echo "examples OK"
+
+verify: test bench-smoke examples
+	@echo "verify OK: tier-1 tests green, fast-path output matches" \
+		"seed, examples run"

@@ -17,47 +17,43 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.analysis import Series, Table, percent
-from repro.cfg import build_cfg
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 
 CONTENTIONS = (0.0, 0.25, 0.5, 1.0)
 
 
-def _run(cfg, decompression, contention=0.0):
-    manager = CodeCompressionManager(
-        cfg,
-        SimulationConfig(
-            decompression=decompression, k_compress=16, k_decompress=3,
-            contention=contention,
-            trace_events=False, record_trace=False,
-        ),
+def _config(decompression, contention=0.0):
+    return SimulationConfig(
+        decompression=decompression, k_compress=16, k_decompress=3,
+        contention=contention,
+        trace_events=False, record_trace=False,
     )
-    return manager.run()
 
 
 def run_experiment(workloads):
+    grid = api.run_grid(
+        workloads, [_config("ondemand"), _config("pre-all")]
+    )
     table = Table(
         "E10: thread overlap (kc=16, kd=3)",
         ["workload", "mode", "stall_cycles", "bg_decompress_cycles",
          "total_cycles", "overhead"],
     )
     absorbed = {}
-    for workload in workloads:
-        cfg = build_cfg(workload.program)
-        ondemand = _run(cfg, "ondemand")
-        preall = _run(cfg, "pre-all")
+    for name in grid.workloads():
+        ondemand, preall = (run.result for run in grid.by_workload(name))
         for label, result in (("sync (on-demand)", ondemand),
                               ("background (pre-all)", preall)):
             table.add_row(
-                workload.name, label,
+                name, label,
                 int(result.counters.stall_cycles),
                 int(result.counters.background_decompress_cycles),
                 int(result.total_cycles),
                 percent(result.cycle_overhead),
             )
-        absorbed[workload.name] = (
+        absorbed[name] = (
             ondemand.counters.stall_cycles,
             preall.counters.stall_cycles,
         )
@@ -65,14 +61,17 @@ def run_experiment(workloads):
 
 
 def run_contention_sweep(workload):
-    cfg = build_cfg(workload.program)
+    grid = api.run_grid(
+        [workload],
+        [_config("pre-all", contention) for contention in CONTENTIONS],
+    )
     series = Series(workload.name, "contention", "total_cycles")
     table = Table(
         "E10b: contention sweep (pre-all)",
         ["contention", "total_cycles", "overhead"],
     )
-    for contention in CONTENTIONS:
-        result = _run(cfg, "pre-all", contention)
+    for contention, run in zip(CONTENTIONS, grid.runs):
+        result = run.result
         series.add(contention, result.total_cycles)
         table.add_row(
             contention, int(result.total_cycles),
@@ -96,7 +95,7 @@ def test_e10_thread_overlap(small_suite, benchmark):
         + series.render(),
     )
 
-    cfg = build_cfg(small_suite[0].program)
     benchmark.pedantic(
-        lambda: _run(cfg, "pre-all"), rounds=1, iterations=1
+        lambda: api.run_grid([small_suite[0]], [_config("pre-all")]),
+        rounds=1, iterations=1,
     )

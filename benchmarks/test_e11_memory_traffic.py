@@ -24,36 +24,38 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.analysis import EnergyModel, Table, percent
-from repro.cfg import build_cfg
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 
 
-def _run(cfg, codec, decompression="ondemand"):
-    manager = CodeCompressionManager(
-        cfg,
-        SimulationConfig(
-            codec=codec, decompression=decompression, k_compress=16,
-            trace_events=False, record_trace=False,
-        ),
+def _config(codec, decompression="ondemand"):
+    return SimulationConfig(
+        codec=codec, decompression=decompression, k_compress=16,
+        trace_events=False, record_trace=False,
     )
-    return manager.run()
+
+
+_CONFIGS = [
+    _config("null", decompression="none"),
+    _config("null"),
+    _config("shared-dict"),
+]
 
 
 def run_experiment(workloads):
     model = EnergyModel()
+    grid = api.run_grid(workloads, _CONFIGS)
     table = Table(
         "E11: target-memory traffic and energy (kc=16)",
         ["workload", "system", "bytes_read", "traffic_vs_stream",
          "energy_nj"],
     )
     shapes = []
-    for workload in workloads:
-        cfg = build_cfg(workload.program)
-        stream = _run(cfg, "null", decompression="none")
-        cached = _run(cfg, "null")
-        compressed = _run(cfg, "shared-dict")
+    for name in grid.workloads():
+        stream, cached, compressed = (
+            run.result for run in grid.by_workload(name)
+        )
         rows = (
             ("stream", stream),
             ("cached-uncompressed", cached),
@@ -62,13 +64,13 @@ def run_experiment(workloads):
         for label, result in rows:
             bytes_read = result.counters.target_memory_bytes
             table.add_row(
-                workload.name, label, bytes_read,
+                name, label, bytes_read,
                 percent(1 - bytes_read
                         / max(1, stream.counters.target_memory_bytes)),
                 round(model.total_energy(result), 1),
             )
         shapes.append(
-            (workload.name,
+            (name,
              stream.counters.target_memory_bytes,
              cached.counters.target_memory_bytes,
              compressed.counters.target_memory_bytes)
@@ -85,7 +87,8 @@ def test_e11_memory_traffic(small_suite, benchmark):
         assert compressed < cached, name
     record_experiment("e11_memory_traffic", table.render())
 
-    cfg = build_cfg(small_suite[0].program)
     benchmark.pedantic(
-        lambda: _run(cfg, "shared-dict"), rounds=1, iterations=1
+        lambda: api.run_grid([small_suite[0]],
+                             [_config("shared-dict")]),
+        rounds=1, iterations=1,
     )

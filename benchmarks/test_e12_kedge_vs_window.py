@@ -19,10 +19,10 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.analysis import Table, percent
 from repro.cfg import build_cfg
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 from repro.runtime import PreparedTrace, simulate_trace
 from repro.strategies import RecencyWindowCompression
 
@@ -34,13 +34,18 @@ _FAST = dict(trace_events=False, record_trace=False)
 
 def _record_trace(cfg):
     """One interpreted run (uncompressed) records the block trace that
-    every policy point replays — the shared-artifact fast path."""
-    manager = CodeCompressionManager(
+    every policy point replays — the shared-artifact fast path.
+
+    The replay loops below stay on the internal engine layer
+    (``simulate_trace`` with a custom compression policy) because the
+    recency-window policy is an ablation object, not a registered
+    strategy the declarative API can name.
+    """
+    manager, result = api.run_instrumented(
         cfg,
         SimulationConfig(decompression="none", trace_events=False,
                          record_trace=True),
     )
-    result = manager.run()
     if result.counters.blocks_executed != len(manager.block_trace):
         raise RuntimeError(
             f"block trace truncated at the recording cap "

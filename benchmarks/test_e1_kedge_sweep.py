@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
-from repro.analysis import Series, Table, percent, sweep
+from repro import api
+from repro.analysis import Table, percent
 from repro.core import SimulationConfig
 
 K_VALUES = (1, 2, 4, 8, 16, 32, None)
@@ -28,11 +29,11 @@ def _config(k):
 
 
 def run_experiment(workloads):
-    # Shared-artifact trace engine: one interpreted run per workload,
-    # the other k points replay its trace (identical metrics, much
-    # faster — see repro.analysis.sweep).
-    result = sweep(workloads, [_config(k) for k in K_VALUES],
-                   engine="trace")
+    # Shared-artifact trace engine via the repro.api facade: one
+    # interpreted run per workload, the other k points replay its trace
+    # (identical metrics, much faster — see repro.analysis.sweep).
+    result = api.run_grid(workloads, [_config(k) for k in K_VALUES],
+                          engine="trace")
     assert not result.failures(), [
         run.validation for run in result.failures()
     ]
@@ -42,24 +43,26 @@ def run_experiment(workloads):
         ["workload", "k", "avg_saving", "peak_saving", "overhead",
          "faults", "recompressions"],
     )
+    for run in result.runs:
+        r = run.result
+        k_label = "inf" if run.config.k_compress is None \
+            else run.config.k_compress
+        table.add_row(
+            run.workload, k_label,
+            percent(r.average_saving), percent(r.peak_saving),
+            percent(r.cycle_overhead),
+            int(r.counters.faults), int(r.counters.recompressions),
+        )
+    x_of = lambda k: 64 if k is None else k  # noqa: E731
+    mem_series = result.series(x="k_compress", y="average_saving",
+                               x_transform=x_of)
+    ovh_series = result.series(x="k_compress", y="cycle_overhead",
+                               x_transform=x_of)
     series = {}
     for name in result.workloads():
-        mem = Series(name, "k", "avg_saving")
-        ovh = Series(name, "k", "overhead")
-        for run in result.by_workload(name):
-            r = run.result
-            k_label = "inf" if run.config.k_compress is None \
-                else run.config.k_compress
-            table.add_row(
-                name, k_label,
-                percent(r.average_saving), percent(r.peak_saving),
-                percent(r.cycle_overhead),
-                int(r.counters.faults), int(r.counters.recompressions),
-            )
-            x = 64 if run.config.k_compress is None \
-                else run.config.k_compress
-            mem.add(x, r.average_saving)
-            ovh.add(x, r.cycle_overhead)
+        mem, ovh = mem_series[name], ovh_series[name]
+        mem.x_name, mem.y_name = "k", "avg_saving"
+        ovh.x_name, ovh.y_name = "k", "overhead"
         series[name] = (mem, ovh)
     return table, series
 
@@ -79,5 +82,6 @@ def test_e1_kedge_sweep(experiment_suite, benchmark):
     # timing anchor: one representative simulation
     workload = experiment_suite[1]  # cold_paths
     benchmark.pedantic(
-        lambda: sweep([workload], [_config(4)]), rounds=1, iterations=1
+        lambda: api.run_grid([workload], [_config(4)]),
+        rounds=1, iterations=1,
     )

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
-from repro.analysis import Table, mean, percent, sweep
+from repro import api
+from repro.analysis import Table, mean, percent
 from repro.core import SimulationConfig
 
 _CONFIGS = [
@@ -32,9 +33,9 @@ _CONFIGS = [
 
 
 def run_experiment(workloads):
-    # Trace engine: the uncompressed baseline cell records the trace,
-    # the three compressed strategies replay it.
-    result = sweep(workloads, _CONFIGS, engine="trace")
+    # Trace engine via the repro.api facade: the uncompressed baseline
+    # cell records the trace, the three compressed strategies replay it.
+    result = api.run_grid(workloads, _CONFIGS, engine="trace")
     assert not result.failures()
 
     table = Table(
@@ -82,6 +83,6 @@ def test_e2_design_space(experiment_suite, benchmark):
     record_experiment("e2_design_space", table.render())
 
     benchmark.pedantic(
-        lambda: sweep([experiment_suite[0]], [_CONFIGS[2]]),
+        lambda: api.run_grid([experiment_suite[0]], [_CONFIGS[2]]),
         rounds=1, iterations=1,
     )

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
-from repro.analysis import Series, Table, mean, percent, sweep
+from repro import api
+from repro.analysis import Series, Table, mean, percent
 from repro.core import SimulationConfig
 
 KD_VALUES = (1, 2, 3, 4)
@@ -34,7 +35,7 @@ def _configs(strategy):
 
 
 def run_experiment(workloads, strategy):
-    result = sweep(workloads, _configs(strategy))
+    result = api.run_grid(workloads, _configs(strategy))
     assert not result.failures()
     table = Table(
         f"E3: pre-decompression distance sweep ({strategy}, kc=16)",
@@ -70,6 +71,7 @@ def test_e3_predecomp_timing(experiment_suite, benchmark):
     record_experiment("e3_predecomp_timing", "\n\n".join(sections))
 
     benchmark.pedantic(
-        lambda: sweep([experiment_suite[1]], _configs("pre-all")[:1]),
+        lambda: api.run_grid([experiment_suite[1]],
+                             _configs("pre-all")[:1]),
         rounds=1, iterations=1,
     )

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.analysis import Table, mean, percent
 from repro.cfg import build_cfg
 from repro.compress import compare_codecs, get_codec
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 
 CODECS = (
     "shared-dict", "shared-fields", "shared-huffman",
@@ -38,19 +38,24 @@ def run_experiment(workloads):
         ["workload", "codec", "ratio", "saving", "dyn_overhead"],
     )
     ratios = {codec: [] for codec in CODECS}
+    # One grid over the simulated codecs, via the repro.api facade.
+    dynamic = api.run_grid(
+        workloads,
+        [
+            SimulationConfig(
+                codec=codec, decompression="ondemand", k_compress=16,
+                trace_events=False, record_trace=False,
+            )
+            for codec in DYNAMIC_CODECS
+        ],
+    )
     for workload in workloads:
         cfg = build_cfg(workload.program)
         stats = compare_codecs(cfg.blocks, CODECS)
-        overheads = {}
-        for codec in DYNAMIC_CODECS:
-            result = CodeCompressionManager(
-                cfg,
-                SimulationConfig(
-                    codec=codec, decompression="ondemand", k_compress=16,
-                    trace_events=False, record_trace=False,
-                ),
-            ).run()
-            overheads[codec] = percent(result.cycle_overhead)
+        overheads = {
+            run.config.codec: percent(run.result.cycle_overhead)
+            for run in dynamic.by_workload(workload.name)
+        }
         for codec in CODECS:
             ratio = stats[codec].ratio
             ratios[codec].append(ratio)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.analysis import Table, percent
 from repro.cfg import build_cfg
 from repro.core import SimulationConfig
@@ -32,16 +33,17 @@ def _slacks(cfg):
     return [base + step for step in SLACK_STEPS]
 
 
-def _run(cfg, budget, eviction="lru"):
-    manager = CodeCompressionManager(
-        cfg,
+def _run(workload, cfg, budget, eviction="lru"):
+    # One validated cell through the repro.api facade.
+    return api.run_cell(
+        workload,
         SimulationConfig(
             decompression="ondemand", k_compress=None,
             memory_budget=budget, eviction=eviction,
             trace_events=False, record_trace=False,
         ),
+        cfg=cfg,
     )
-    return manager, manager.run()
 
 
 def run_experiment(workloads):
@@ -59,8 +61,9 @@ def run_experiment(workloads):
         evictions, overheads = [], []
         for slack in _slacks(cfg):
             budget = image_size + slack
-            manager, result = _run(cfg, budget)
-            assert workload.validate(manager.machine) == []
+            run = _run(workload, cfg, budget)
+            assert run.ok, run.validation
+            result = run.result
             assert result.peak_footprint <= budget, (
                 workload.name, slack
             )
@@ -87,7 +90,8 @@ def run_policy_comparison(workload):
     )
     slack = _slacks(cfg)[2]
     for policy in ("lru", "fifo", "largest"):
-        _, result = _run(cfg, image_size + slack, eviction=policy)
+        result = _run(workload, cfg, image_size + slack,
+                      eviction=policy).result
         table.add_row(
             policy, int(result.counters.evictions),
             percent(result.cycle_overhead),
@@ -113,5 +117,6 @@ def test_e5_memory_budget(small_suite, benchmark):
         cfg, SimulationConfig(trace_events=False)
     ).image.compressed_image_size
     benchmark.pedantic(
-        lambda: _run(cfg, image_size + 300), rounds=1, iterations=1
+        lambda: _run(small_suite[0], cfg, image_size + 300),
+        rounds=1, iterations=1,
     )

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
-from repro.analysis import Table, percent, sweep
+from repro import api
+from repro.analysis import Table, percent
 from repro.strategies.baselines import (
     block_granularity,
     function_granularity,
@@ -31,7 +32,7 @@ _CONFIGS = [
 
 
 def run_experiment(workloads):
-    result = sweep(workloads, _CONFIGS)
+    result = api.run_grid(workloads, _CONFIGS)
     assert not result.failures()
     table = Table(
         "E6: granularity comparison (shared-dict, on-demand, kc=8)",
@@ -78,6 +79,6 @@ def test_e6_granularity(experiment_suite, benchmark):
     record_experiment("e6_granularity", table.render())
 
     benchmark.pedantic(
-        lambda: sweep([experiment_suite[2]], [_CONFIGS[3]]),
+        lambda: api.run_grid([experiment_suite[2]], [_CONFIGS[3]]),
         rounds=1, iterations=1,
     )

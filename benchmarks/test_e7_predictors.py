@@ -15,22 +15,21 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
-from repro.analysis import Table, mean, percent, run_one, sweep
+from repro import api
+from repro.analysis import Table, mean, percent
 from repro.cfg import build_cfg, profile_from_trace
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 
 PREDICTORS = ("online-profile", "last-successor", "markov")
 
 
 def _offline_profile(cfg):
     """Train an edge profile by running the program once uncompressed."""
-    manager = CodeCompressionManager(
+    _, result = api.run_instrumented(
         cfg,
         SimulationConfig(decompression="none", trace_events=False,
                          record_trace=True),
     )
-    result = manager.run()
     return profile_from_trace(result.block_trace)
 
 
@@ -60,7 +59,7 @@ def run_experiment(workloads):
             )
         )
         for config in configs:
-            run = run_one(workload, config, cfg=cfg)
+            run = api.run_cell(workload, config, cfg=cfg)
             assert run.ok, run.validation
             r = run.result
             table.add_row(
@@ -94,7 +93,7 @@ def test_e7_predictors(experiment_suite, benchmark):
     workload = experiment_suite[3]  # fsm
     cfg = build_cfg(workload.program)
     benchmark.pedantic(
-        lambda: run_one(
+        lambda: api.run_cell(
             workload,
             SimulationConfig(
                 decompression="pre-single", k_compress=16,

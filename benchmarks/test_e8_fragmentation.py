@@ -19,22 +19,22 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.analysis import Table, percent
 from repro.cfg import build_cfg
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 
 
 def _run(cfg, scheme):
-    manager = CodeCompressionManager(
+    # The live manager is needed for image introspection — the
+    # instrumented entry point of the repro.api facade.
+    return api.run_instrumented(
         cfg,
         SimulationConfig(
             decompression="ondemand", k_compress=2, image_scheme=scheme,
             trace_events=False, record_trace=False,
         ),
     )
-    result = manager.run()
-    return manager, result
 
 
 def run_experiment(workloads):

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from conftest import record_experiment
 
+from repro import api
 from repro.cfg import build_cfg
 from repro.core import SimulationConfig
-from repro.core.manager import CodeCompressionManager
 from repro.isa import assemble
 from repro.runtime import EventKind
 
@@ -35,13 +35,12 @@ b3:
 def run_scenario():
     program = assemble(_FIGURE5_SOURCE, "figure5", entry_label="b0")
     cfg = build_cfg(program)
-    manager = CodeCompressionManager(
+    manager, _ = api.run_instrumented(
         cfg,
         SimulationConfig(
             codec="shared-dict", decompression="ondemand", k_compress=2
         ),
     )
-    manager.run()
     return manager
 
 

@@ -10,9 +10,8 @@ Run with::
     python examples/custom_kernel.py
 """
 
-from repro import ProgramBuilder, SimulationConfig, build_cfg
+from repro import ProgramBuilder, SimulationConfig, api, build_cfg
 from repro.compress import measure_image, get_codec
-from repro.core.manager import CodeCompressionManager
 from repro.isa import instructions as ins
 from repro.runtime import EventKind
 
@@ -62,19 +61,19 @@ def main() -> None:
           f"(ratio {stats.ratio:.2f})")
 
     # Uncompressed reference.
-    baseline = CodeCompressionManager(
+    _, baseline = api.run_instrumented(
         cfg, SimulationConfig(decompression="none")
-    ).run()
+    )
 
-    # Compressed run with full event tracing.
-    manager = CodeCompressionManager(
+    # Compressed run with full event tracing; the live manager gives
+    # access to the event log afterwards.
+    manager, result = api.run_instrumented(
         cfg,
         SimulationConfig(
             decompression="pre-single", k_compress=3, k_decompress=2,
             trace_events=True,
         ),
     )
-    result = manager.run()
 
     assert result.registers == baseline.registers, "transparency violated!"
     print(f"result r14 = {result.registers[14]} (matches baseline)\n")

@@ -1,4 +1,5 @@
-"""Quickstart: compress, simulate, and inspect one small program.
+"""Quickstart: compress, simulate, and inspect one small program,
+then sweep a parameter grid through the declarative ``repro.api``.
 
 Run with::
 
@@ -6,6 +7,7 @@ Run with::
 """
 
 from repro import SimulationConfig, assemble, build_cfg, simulate
+from repro import api
 
 SOURCE = """
 ; sum the numbers 1..100, then post-process in a helper function
@@ -57,6 +59,23 @@ def main() -> None:
           f"the uncompressed run)")
     print(f"peak memory: {result.peak_footprint} B vs "
           f"{baseline.peak_footprint} B uncompressed")
+    print()
+
+    # The declarative API: describe a grid once, get a ResultSet with
+    # table helpers back (registered workloads can also run in
+    # parallel processes — see examples/parallel_sweep.py).
+    spec = api.ExperimentSpec(
+        workloads=["fib", "gcd"],
+        base={"codec": "shared-dict", "decompression": "ondemand",
+              "trace_events": False, "record_trace": False},
+        axes=api.grid(k_compress=[1, 4, "inf"]),
+        engine="trace",
+    )
+    grid_result = api.run_experiment(spec)
+    print(grid_result.pivot(
+        value="cycle_overhead", cols="k_compress",
+        title="cycle overhead by workload x k",
+    ).render())
 
 
 if __name__ == "__main__":

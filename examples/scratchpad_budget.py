@@ -14,7 +14,7 @@ Run with::
     python examples/scratchpad_budget.py
 """
 
-from repro import SimulationConfig, build_cfg
+from repro import SimulationConfig, api, build_cfg
 from repro.analysis import Table, percent
 from repro.core.manager import CodeCompressionManager
 from repro.workloads import get_workload
@@ -47,8 +47,9 @@ def main() -> None:
     floor = compressed + 2 * largest + 16
     for budget in (floor, floor + 100, floor + 250, floor + 500,
                    uncompressed + compressed):
-        manager = CodeCompressionManager(
-            cfg,
+        # One validated cell through the repro.api facade.
+        run = api.run_cell(
+            workload,
             SimulationConfig(
                 decompression="ondemand",
                 k_compress=None,       # rely on evictions only
@@ -57,10 +58,10 @@ def main() -> None:
                 trace_events=False,
                 record_trace=False,
             ),
+            cfg=cfg,
         )
-        result = manager.run()
-        problems = workload.validate(manager.machine)
-        assert not problems, problems
+        assert run.ok, run.validation
+        result = run.result
         table.add_row(
             budget,
             int(result.peak_footprint),

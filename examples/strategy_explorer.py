@@ -11,8 +11,8 @@ Run with::
 
 import sys
 
-from repro import SimulationConfig
-from repro.analysis import Table, percent, sweep
+from repro import SimulationConfig, api
+from repro.analysis import Table, percent
 from repro.workloads import available_workloads, get_workload
 
 
@@ -36,7 +36,7 @@ def explore(name: str) -> None:
                     label=f"{strategy}/k={k_compress}",
                 )
             )
-    result = sweep([workload], configs)
+    result = api.run_grid([workload], configs)
     failures = result.failures()
     assert not failures, failures[0].validation
 

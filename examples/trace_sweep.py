@@ -1,10 +1,12 @@
-"""Fast design-space exploration with trace-driven simulation.
+"""Fast design-space exploration with the declarative experiment API.
 
-Records one uncompressed execution trace, then replays it through many
-configurations (k values x strategies) — the compression metrics are
-bit-identical to full simulation, but the sweep runs much faster because
-instructions are not re-interpreted.  Finishes with an ASCII footprint
-timeline of the chosen operating point and the Section 2 energy numbers.
+One :class:`repro.api.ExperimentSpec` describes the whole design space
+(strategies x k values); the trace engine interprets each workload once
+and replays the recorded block trace through every other configuration —
+the compression metrics are bit-identical to full simulation, but the
+sweep runs much faster because instructions are not re-interpreted.
+Finishes with an ASCII footprint timeline of the chosen operating point
+and the Section 2 energy numbers.
 
 Run with::
 
@@ -12,13 +14,10 @@ Run with::
 """
 
 import sys
-import time
 
-from repro import SimulationConfig, build_cfg
+from repro import api
 from repro.analysis import EnergyModel, Table, percent, plot_timeline
-from repro.core.manager import CodeCompressionManager
-from repro.runtime import simulate_trace
-from repro.workloads import available_workloads, get_workload
+from repro.workloads import available_workloads
 
 
 def main() -> None:
@@ -27,65 +26,59 @@ def main() -> None:
         print(f"unknown workload '{name}'; "
               f"available: {', '.join(available_workloads())}")
         raise SystemExit(1)
-    workload = get_workload(name)
-    cfg = build_cfg(workload.program)
 
-    # 1. One full (interpreting) run records the trace.
-    started = time.perf_counter()
-    base = CodeCompressionManager(
-        cfg,
-        SimulationConfig(decompression="none", trace_events=False,
-                         record_trace=True),
-    ).run()
-    trace_time = time.perf_counter() - started
-    print(f"recorded trace: {len(base.block_trace)} block entries "
-          f"({trace_time * 1000:.0f} ms)\n")
+    # 1. Describe the grid declaratively: 3 strategies x 6 k values.
+    spec = api.ExperimentSpec(
+        name=f"trace-sweep/{name}",
+        workloads=[name],
+        base={"k_decompress": 2, "trace_events": False,
+              "record_trace": False},
+        axes=api.grid(
+            decompression=["ondemand", "pre-all", "pre-single"],
+            k_compress=[1, 2, 4, 8, 16, 32],
+        ),
+        engine="trace",
+    )
 
-    # 2. Replay the trace across the design space.
+    # 2. Execute it: the first cell records the block trace, the other
+    #    cells replay it.
+    result = api.run_experiment(spec)
+    elapsed = result.meta["timing"]["elapsed_s"]
+    print(f"{len(result.runs)} configurations via the trace engine in "
+          f"{elapsed * 1000:.0f} ms "
+          f"({elapsed / len(result.runs) * 1000:.1f} ms each)\n")
+
     table = Table(
         f"trace-driven sweep for '{name}'",
         ["strategy", "k", "avg_saving", "overhead", "energy_nj"],
     )
     model = EnergyModel()
     best = None
-    started = time.perf_counter()
-    runs = 0
-    for strategy in ("ondemand", "pre-all", "pre-single"):
-        for k in (1, 2, 4, 8, 16, 32):
-            result = simulate_trace(
-                cfg, base.block_trace,
-                SimulationConfig(
-                    decompression=strategy, k_compress=k,
-                    k_decompress=2, trace_events=False,
-                    record_trace=False,
-                ),
-            )
-            runs += 1
-            table.add_row(
-                strategy, k, percent(result.average_saving),
-                percent(result.cycle_overhead),
-                round(model.total_energy(result)),
-            )
-            # pick the best memory saving under 2x slowdown
-            if result.cycle_overhead < 1.0 and (
-                best is None
-                or result.average_saving > best[2].average_saving
-            ):
-                best = (strategy, k, result)
-    sweep_time = time.perf_counter() - started
+    for run in result.runs:
+        r = run.result
+        table.add_row(
+            run.config.decompression, run.config.k_compress,
+            percent(r.average_saving), percent(r.cycle_overhead),
+            round(model.total_energy(r)),
+        )
+        # pick the best memory saving under 2x slowdown
+        if r.cycle_overhead < 1.0 and (
+            best is None
+            or r.average_saving > best.result.average_saving
+        ):
+            best = run
     print(table.render())
-    print(f"\n{runs} configurations replayed in "
-          f"{sweep_time * 1000:.0f} ms "
-          f"({sweep_time / runs * 1000:.1f} ms each)")
 
     # 3. Inspect the chosen operating point.
     if best is not None:
-        strategy, k, result = best
+        strategy = best.config.decompression
+        k = best.config.k_compress
+        r = best.result
         print(f"\nchosen operating point: {strategy}, k={k} "
-              f"(saving {percent(result.average_saving)}, "
-              f"overhead {percent(result.cycle_overhead)})\n")
+              f"(saving {percent(r.average_saving)}, "
+              f"overhead {percent(r.cycle_overhead)})\n")
         print(plot_timeline(
-            result.footprint, width=64, height=8,
+            r.footprint, width=64, height=8,
             title=f"code memory footprint over time ({strategy}, k={k})",
         ))
 

@@ -18,8 +18,26 @@ Quickstart::
     ))
     print(result.render())
 
+For anything grid-shaped — parameter sweeps, design-space studies,
+parallel execution — use the declarative facade::
+
+    from repro import api
+
+    spec = api.ExperimentSpec(
+        workloads=["composite", "fsm"],
+        base={"codec": "shared-dict", "decompression": "ondemand"},
+        axes=api.grid(k_compress=[1, 2, 4, 8, "inf"]),
+        engine="trace",
+    )
+    print(api.run_experiment(spec, jobs=4)
+          .pivot(value="average_saving", cols="k_compress").render())
+
 Package map:
 
+* :mod:`repro.api` — the public experiment facade: declarative specs,
+  pluggable serial/parallel executors, versioned result sets;
+* :mod:`repro.registry` — the one generic component registry behind
+  codecs, strategies, predictors, workloads, engines, and executors;
 * :mod:`repro.isa` — the embedded target ISA, assembler, binary encoding;
 * :mod:`repro.cfg` — basic blocks, control flow graph, loops, profiles;
 * :mod:`repro.compress` — codecs (Huffman, LZW, LZ77, dictionary, ...);
@@ -31,7 +49,8 @@ Package map:
   pre-decompression policies, predictors, memory budgets;
 * :mod:`repro.core` — the manager tying it all together;
 * :mod:`repro.workloads` — embedded benchmark kernels and generators;
-* :mod:`repro.analysis` — sweep and reporting helpers for the experiments.
+* :mod:`repro.analysis` — the internal sweep-engine layer (machine and
+  trace engines) and reporting helpers underneath :mod:`repro.api`.
 """
 
 from .cfg import BasicBlock, ControlFlowGraph, EdgeProfile, ProgramCFG, build_cfg

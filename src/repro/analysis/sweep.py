@@ -1,11 +1,13 @@
-"""Parameter-sweep harness shared by the experiment benchmarks.
+"""The internal sweep-engine layer under :mod:`repro.api`.
 
 One call = one grid of (workload x configuration) simulations, returned as
 :class:`SweepResult` for table/series extraction.  Simulation runs are
-deliberately sequential and deterministic (no threads, no wall-clock
-dependence) so experiment output is stable across machines.
+deterministic (no threads, no wall-clock dependence) so experiment
+output is stable across machines; parallelism lives a layer up, in the
+:mod:`repro.api.executor` process pool, which dispatches whole-workload
+partitions through this module.
 
-Two execution engines are available:
+Engines live in the :data:`ENGINES` registry; two are built in:
 
 * ``engine="machine"`` interprets every instruction of every grid cell —
   the gold standard, and the default.
@@ -34,12 +36,20 @@ from ..cfg.builder import ProgramCFG, build_cfg
 from ..core.config import SimulationConfig
 from ..core.manager import _TRACE_CAP, CodeCompressionManager
 from ..isa.program import Program
+from ..registry import Registry
 from ..runtime.metrics import SimulationResult
 from ..runtime.trace_sim import PreparedTrace, simulate_trace
 from ..workloads.suite import Workload
 
-#: Sweep execution engines (see module docstring).
-SWEEP_ENGINES = ("machine", "trace")
+#: Sweep engine registry: each engine runs one workload's grid row
+#: (``engine(workload, graph, configs, fast, max_blocks) -> [SweepRun]``).
+#: New engines plug in via ``ENGINES.register`` without touching sweep().
+ENGINES = Registry("engines", item="sweep engine")
+
+
+def available_engines() -> List[str]:
+    """Names of all registered sweep engines (registration order)."""
+    return ENGINES.names(sort=False)
 
 
 @dataclass
@@ -120,32 +130,43 @@ def sweep(
 
     ``fast=True`` disables event/trace recording (the counters and
     footprint timeline are unaffected).  CFGs are built once per workload
-    and shared across configs.  ``engine`` selects between interpreting
-    every cell (``"machine"``) and the trace-replay fast path
-    (``"trace"``) — see the module docstring for the contract.
+    and shared across configs.  ``engine`` names a registered sweep
+    engine — ``"machine"`` interprets every cell, ``"trace"`` is the
+    trace-replay fast path (see the module docstring for the contract).
     """
-    if engine not in SWEEP_ENGINES:
+    if engine not in ENGINES:
         raise ValueError(
-            f"unknown sweep engine '{engine}'; available: {SWEEP_ENGINES}"
+            f"unknown sweep engine '{engine}'; "
+            f"available: {tuple(available_engines())}"
         )
+    engine_fn = ENGINES.get(engine)
     out = SweepResult()
     for workload in workloads:
         graph = build_cfg(workload.program)
-        if engine == "trace":
-            out.runs.extend(
-                _trace_sweep_workload(workload, graph, configs, fast,
-                                      max_blocks)
-            )
-            continue
-        for config in configs:
-            effective = config.replace(**_FAST) if fast else config
-            out.runs.append(
-                run_one(workload, effective, cfg=graph,
-                        max_blocks=max_blocks)
-            )
+        out.runs.extend(
+            engine_fn(workload, graph, configs, fast, max_blocks)
+        )
     return out
 
 
+@ENGINES.register("machine")
+def _machine_sweep_workload(
+    workload: Workload,
+    graph: ProgramCFG,
+    configs: Sequence[SimulationConfig],
+    fast: bool,
+    max_blocks: Optional[int],
+) -> List[SweepRun]:
+    """One workload's grid row, interpreting every instruction of every
+    cell — the gold standard."""
+    return [
+        run_one(workload, config.replace(**_FAST) if fast else config,
+                cfg=graph, max_blocks=max_blocks)
+        for config in configs
+    ]
+
+
+@ENGINES.register("trace")
 def _trace_sweep_workload(
     workload: Workload,
     graph: ProgramCFG,

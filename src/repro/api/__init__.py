@@ -1,0 +1,217 @@
+"""``repro.api`` — the public experiment facade.
+
+This package is the one entry point consumers (CLI subcommands, the
+E1-E12 benchmarks, the examples) build on:
+
+* **describe** a scenario grid declaratively with
+  :class:`~repro.api.spec.ExperimentSpec` and the :func:`grid` /
+  :func:`zip_axes` / :func:`cases` axis combinators (or a JSON spec
+  file);
+* **execute** it through a pluggable
+  :class:`~repro.api.executor.Executor` — serial, or process-parallel
+  across workloads with identical output;
+* **consume** a versioned :class:`~repro.api.results.ResultSet` with
+  ``filter``/``pivot``/``series`` helpers replacing per-benchmark table
+  code.
+
+``repro.analysis.sweep`` remains the internal engine layer underneath;
+everything pluggable (codecs, decompression strategies, predictors,
+workloads, sweep engines, executors) registers through the unified
+:class:`~repro.registry.Registry` catalog, listed by
+:func:`list_components`.
+
+Quickstart::
+
+    from repro import api
+
+    spec = api.ExperimentSpec(
+        workloads=["composite", "fsm"],
+        base={"codec": "shared-dict", "decompression": "ondemand"},
+        axes=api.grid(k_compress=[1, 2, 4, 8, "inf"]),
+        engine="trace",
+    )
+    rs = api.run_experiment(spec, jobs=4)
+    print(rs.pivot(value="average_saving", cols="k_compress").render())
+    rs.to_json("results.json")
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Union
+
+from ..analysis.sweep import ENGINES, SweepRun, available_engines, run_one
+from ..cfg.builder import ProgramCFG, build_cfg
+from ..core.config import SimulationConfig
+from ..core.manager import CodeCompressionManager
+from ..registry import Registry, all_registries
+from ..runtime.metrics import SimulationResult
+from ..workloads.suite import Workload
+from .executor import (
+    EXECUTORS,
+    Executor,
+    ParallelExecutor,
+    Partition,
+    SerialExecutor,
+    make_executor,
+)
+from .results import (
+    SCHEMA_ID,
+    SCHEMA_VERSION,
+    ResultSet,
+    config_to_dict,
+)
+from .spec import (
+    Cell,
+    ExperimentSpec,
+    SpecError,
+    cases,
+    grid,
+    parse_k,
+    zip_axes,
+)
+
+#: Alias kept close to the old analysis helper: run one (workload,
+#: config) cell and validate it against the workload oracle.
+run_cell = run_one
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    executor: Union[str, Executor, None] = None,
+    jobs: Optional[int] = None,
+) -> ResultSet:
+    """Expand and execute a spec; the declarative entry point.
+
+    ``executor``/``jobs`` override the spec's own choices (the CLI's
+    ``--jobs N`` flows through here).
+    """
+    effective_jobs = jobs if jobs is not None else spec.jobs
+    if executor is None:
+        if jobs is not None and jobs > 1:
+            executor = "parallel"
+        else:
+            executor = spec.executor
+    chosen = make_executor(executor, jobs=effective_jobs)
+    partitions = [
+        Partition(workload=name, configs=configs)
+        for name, configs in spec.partitions()
+    ]
+    started = time.perf_counter()
+    runs = chosen.run(
+        partitions, engine=spec.engine, fast=spec.fast,
+        max_blocks=spec.max_blocks,
+    )
+    elapsed = time.perf_counter() - started
+    return ResultSet(
+        runs,
+        meta={
+            "name": spec.name,
+            "engine": spec.engine,
+            "executor": chosen.name,
+            "jobs": chosen.jobs,
+            "timing": {"elapsed_s": elapsed},
+        },
+    )
+
+
+def run_grid(
+    workloads: Sequence[Union[str, Workload]],
+    configs: Sequence[SimulationConfig],
+    engine: str = "machine",
+    executor: Union[str, Executor, None] = None,
+    jobs: Optional[int] = None,
+    fast: bool = True,
+    max_blocks: Optional[int] = None,
+) -> ResultSet:
+    """Run an already-expanded (workloads x configs) grid.
+
+    The imperative sibling of :func:`run_experiment`, for callers that
+    build :class:`SimulationConfig` objects directly (the benchmarks) or
+    hold unregistered :class:`Workload` objects (synthetic programs).
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown sweep engine '{engine}'; "
+            f"available: {tuple(available_engines())}"
+        )
+    chosen = make_executor(executor, jobs=jobs)
+    partitions = [
+        Partition(workload=workload, configs=list(configs))
+        for workload in workloads
+    ]
+    started = time.perf_counter()
+    runs = chosen.run(
+        partitions, engine=engine, fast=fast, max_blocks=max_blocks
+    )
+    elapsed = time.perf_counter() - started
+    return ResultSet(
+        runs,
+        meta={
+            "engine": engine,
+            "executor": chosen.name,
+            "jobs": chosen.jobs,
+            "timing": {"elapsed_s": elapsed},
+        },
+    )
+
+
+def run_instrumented(
+    workload: Union[Workload, ProgramCFG],
+    config: Optional[SimulationConfig] = None,
+    max_blocks: Optional[int] = None,
+):
+    """Run one cell and keep the live manager for introspection.
+
+    Returns ``(manager, result)`` — for consumers that need the event
+    log, the memory image, or the machine state (E8/E9-style analyses);
+    grid runs should use :func:`run_grid` instead.
+    """
+    if isinstance(workload, ProgramCFG):
+        cfg = workload
+    else:
+        cfg = build_cfg(workload.program)
+    manager = CodeCompressionManager(cfg, config)
+    result = manager.run(max_blocks=max_blocks)
+    return manager, result
+
+
+def list_components() -> "dict[str, List[str]]":
+    """Every pluggable component family, from the unified registry
+    catalog (codecs, strategies, predictors, workloads, engines,
+    executors)."""
+    return {
+        kind: registry.names()
+        for kind, registry in all_registries().items()
+    }
+
+
+__all__ = [
+    "Cell",
+    "EXECUTORS",
+    "ENGINES",
+    "Executor",
+    "ExperimentSpec",
+    "ParallelExecutor",
+    "Partition",
+    "Registry",
+    "ResultSet",
+    "SCHEMA_ID",
+    "SCHEMA_VERSION",
+    "SerialExecutor",
+    "SpecError",
+    "SweepRun",
+    "all_registries",
+    "available_engines",
+    "cases",
+    "config_to_dict",
+    "grid",
+    "list_components",
+    "make_executor",
+    "parse_k",
+    "run_cell",
+    "run_experiment",
+    "run_grid",
+    "run_instrumented",
+    "zip_axes",
+]

@@ -1,0 +1,202 @@
+"""Pluggable experiment executors.
+
+An executor takes the expanded grid as workload-major *partitions* (one
+workload's full config row per partition) and produces the flat run list
+in deterministic cell order.  Partitioning by workload is what preserves
+the PR-1 fast paths under parallelism: within a partition the trace
+engine records once and replays the rest, and the per-(CFG, codec)
+shared-artifact cache never recompresses identical block bytes.
+
+* :class:`SerialExecutor` runs partitions in order in this process — the
+  reference behaviour.
+* :class:`ParallelExecutor` fans partitions out to a
+  ``ProcessPoolExecutor`` (one task per workload) and reassembles the
+  results in submission order, so its output is byte-identical to the
+  serial executor's (asserted by
+  ``tests/integration/test_parallel_executor.py``).  Workloads are
+  shipped to workers *by registry name*; unregistered
+  :class:`~repro.workloads.suite.Workload` objects (whose oracle
+  closures do not pickle) silently run in-process instead.
+
+Simulation runs have no wall-clock or cross-cell dependence, so cell
+results do not depend on which process computed them.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..analysis.sweep import SweepRun, sweep
+from ..core.config import SimulationConfig
+from ..registry import Registry
+from ..workloads.suite import Workload, get_workload
+
+#: The executor family, in the unified component catalog.
+EXECUTORS = Registry("executors")
+
+
+@dataclass
+class Partition:
+    """One workload's full grid row — the unit of dispatch.
+
+    ``workload`` is a registry name (shippable to worker processes) or a
+    concrete :class:`Workload` object (runs wherever it pickles to).
+    """
+
+    workload: Union[str, Workload]
+    configs: List[SimulationConfig] = field(default_factory=list)
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, str):
+            return self.workload
+        return self.workload.name
+
+
+def run_partition(
+    workload: Union[str, Workload],
+    configs: Sequence[SimulationConfig],
+    engine: str,
+    fast: bool,
+    max_blocks: Optional[int],
+) -> List[SweepRun]:
+    """Run one partition through the sweep engine (any process)."""
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    return sweep(
+        [workload], list(configs), fast=fast, max_blocks=max_blocks,
+        engine=engine,
+    ).runs
+
+
+class Executor(abc.ABC):
+    """Runs expanded experiment partitions, deterministically ordered."""
+
+    name: str = "abstract"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else 1
+
+    @abc.abstractmethod
+    def run(
+        self,
+        partitions: Sequence[Partition],
+        engine: str = "machine",
+        fast: bool = True,
+        max_blocks: Optional[int] = None,
+    ) -> List[SweepRun]:
+        """Execute every partition; returns runs in cell order (the
+        partition order given, configs in order within each)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+@EXECUTORS.register("serial")
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the reference executor."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(1)  # always one job, whatever the caller asked
+
+    def run(
+        self,
+        partitions: Sequence[Partition],
+        engine: str = "machine",
+        fast: bool = True,
+        max_blocks: Optional[int] = None,
+    ) -> List[SweepRun]:
+        runs: List[SweepRun] = []
+        for partition in partitions:
+            runs.extend(
+                run_partition(partition.workload, partition.configs,
+                              engine, fast, max_blocks)
+            )
+        return runs
+
+
+def _shippable(partition: Partition) -> bool:
+    """True when the partition can be sent to a worker process."""
+    if isinstance(partition.workload, str):
+        return True
+    try:
+        pickle.dumps(partition.workload)
+        return True
+    except Exception:
+        return False
+
+
+@EXECUTORS.register("parallel")
+class ParallelExecutor(Executor):
+    """Process-pool execution, one task per workload partition.
+
+    ``jobs=None`` uses ``os.cpu_count()``.  Results are reassembled in
+    partition order, so the output is identical to
+    :class:`SerialExecutor` — parallelism changes wall-clock time only.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(jobs if jobs is not None else os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run(
+        self,
+        partitions: Sequence[Partition],
+        engine: str = "machine",
+        fast: bool = True,
+        max_blocks: Optional[int] = None,
+    ) -> List[SweepRun]:
+        partitions = list(partitions)
+        shippable = [i for i, p in enumerate(partitions) if _shippable(p)]
+        workers = min(self.jobs, len(shippable))
+        per_partition: List[Optional[List[SweepRun]]] = (
+            [None] * len(partitions)
+        )
+        if workers > 1:
+            with _ProcessPool(max_workers=workers) as pool:
+                futures = {
+                    i: pool.submit(
+                        run_partition, partitions[i].workload,
+                        partitions[i].configs, engine, fast, max_blocks,
+                    )
+                    for i in shippable
+                }
+                # Local (unpicklable) partitions overlap with the pool.
+                for i, partition in enumerate(partitions):
+                    if i not in futures:
+                        per_partition[i] = run_partition(
+                            partition.workload, partition.configs,
+                            engine, fast, max_blocks,
+                        )
+                for i, future in futures.items():
+                    per_partition[i] = future.result()
+        else:
+            for i, partition in enumerate(partitions):
+                per_partition[i] = run_partition(
+                    partition.workload, partition.configs,
+                    engine, fast, max_blocks,
+                )
+        runs: List[SweepRun] = []
+        for result in per_partition:
+            runs.extend(result or [])
+        return runs
+
+
+def make_executor(
+    name_or_executor: Union[str, Executor, None],
+    jobs: Optional[int] = None,
+) -> Executor:
+    """Resolve an executor argument: an instance passes through, a name
+    is instantiated from the registry, ``None`` picks serial for one job
+    and parallel otherwise."""
+    if isinstance(name_or_executor, Executor):
+        return name_or_executor
+    if name_or_executor is None:
+        name_or_executor = "parallel" if jobs and jobs > 1 else "serial"
+    return EXECUTORS.create(name_or_executor, jobs=jobs)

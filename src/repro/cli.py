@@ -1,15 +1,23 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
-Subcommands:
+Subcommands (all built on the :mod:`repro.api` facade):
 
-* ``list``     — available workloads, codecs, predictors, strategies;
+* ``list``     — every pluggable component family (workloads, codecs,
+  strategies, predictors, engines, executors) from the unified registry;
 * ``inspect``  — disassembly + CFG + static compression of a workload;
 * ``run``      — simulate one workload under one configuration;
 * ``sweep``    — k-edge sweep table for one workload;
 * ``compare``  — Figure 3 design-space comparison for one workload;
+* ``exp``      — run a declarative JSON experiment spec
+  (``--spec FILE``), optionally in parallel (``--jobs N``), and write
+  the versioned result JSON/CSV;
 * ``bench``    — performance microbenchmarks, written to
   ``BENCH_core.json`` (codec round-trips vs. the seed implementation
   and the machine- vs. trace-engine E1 sweep).
+
+``sweep`` and ``compare`` accept ``--engine {machine,trace}`` (the
+trace-replay fast path) and ``--jobs N`` (process-parallel across
+workload partitions; with a single workload this changes nothing).
 
 All output is plain text, suitable for piping into experiment notes.
 """
@@ -20,12 +28,26 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import Table, percent, run_one, sweep
+from . import api
+from .analysis import Table, percent
 from .cfg import build_cfg, natural_loops
 from .compress import available_codecs, compare_codecs
 from .core import DECOMPRESSION_STRATEGIES, SimulationConfig
 from .strategies import available_predictors
 from .workloads import available_workloads, get_workload
+
+
+def _parse_k_list(text: str) -> List[Optional[int]]:
+    """Parse the --k-values token list; argparse-friendly errors."""
+    values: List[Optional[int]] = []
+    for token in text.split(","):
+        try:
+            values.append(api.parse_k(token, field_name="k"))
+        except api.SpecError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    if not values:
+        raise argparse.ArgumentTypeError("--k-values is empty")
+    return values
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +81,21 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", default="machine",
+        choices=api.available_engines(),
+        help="sweep engine: interpret every cell ('machine') or replay "
+             "a recorded block trace ('trace', the fast path; "
+             "default: machine)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (parallel across workloads; "
+             "default: serial)",
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     return SimulationConfig(
         codec=args.codec,
@@ -76,9 +113,11 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
     for name in available_workloads():
         print(f"  {name:12s} {get_workload(name).description}")
-    print("\ncodecs:      " + ", ".join(available_codecs()))
-    print("predictors:  " + ", ".join(available_predictors()))
-    print("strategies:  " + ", ".join(DECOMPRESSION_STRATEGIES))
+    print()
+    for kind, names in sorted(api.list_components().items()):
+        if kind == "workloads":
+            continue
+        print(f"{kind + ':':12s} " + ", ".join(names))
     return 0
 
 
@@ -109,7 +148,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    run = run_one(workload, _config_from_args(args))
+    run = api.run_cell(workload, _config_from_args(args))
     print(run.result.render())
     if run.validation:
         print("\nVALIDATION FAILED:")
@@ -122,10 +161,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    k_values: List[Optional[int]] = [
-        None if token in ("inf", "0") else int(token)
-        for token in args.k_values.split(",")
-    ]
+    k_values = args.k_values
     configs = [
         SimulationConfig(
             codec=args.codec, decompression=args.strategy,
@@ -135,7 +171,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         for k in k_values
     ]
-    result = sweep([workload], configs)
+    result = api.run_grid(
+        [workload], configs, engine=args.engine, jobs=args.jobs
+    )
     table = Table(
         f"k-edge sweep for '{workload.name}' "
         f"({args.strategy}, {args.codec})",
@@ -170,7 +208,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 trace_events=False, record_trace=False,
             )
         )
-    result = sweep([workload], configs)
+    result = api.run_grid(
+        [workload], configs, engine=args.engine, jobs=args.jobs
+    )
     table = Table(
         f"design space for '{workload.name}' ({args.codec}, "
         f"kc={args.k_compress}, kd={args.k_decompress})",
@@ -186,6 +226,57 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
     print(table.render())
     return 0 if not result.failures() else 1
+
+
+def cmd_exp(args: argparse.Namespace) -> int:
+    try:
+        spec = api.ExperimentSpec.from_file(args.spec)
+    except (OSError, api.SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.engine is not None:
+        spec.engine = args.engine
+    executor = args.executor
+    result = api.run_experiment(spec, executor=executor, jobs=args.jobs)
+
+    table = Table(
+        f"experiment '{spec.name}' "
+        f"({result.meta['engine']} engine, "
+        f"{result.meta['executor']} executor, "
+        f"jobs={result.meta['jobs']})",
+        ["workload", "strategy", "avg_saving", "peak_saving",
+         "overhead", "faults", "ok"],
+    )
+    for run in result.runs:
+        r = run.result
+        table.add_row(
+            run.workload, run.config.strategy_name,
+            percent(r.average_saving), percent(r.peak_saving),
+            percent(r.cycle_overhead), int(r.counters.faults),
+            "yes" if run.ok else "NO",
+        )
+    elapsed = result.meta["timing"]["elapsed_s"]
+    table.add_note(
+        f"{len(result.runs)} cells over "
+        f"{len(result.workloads())} workloads in {elapsed:.2f}s "
+        f"(result schema v{api.SCHEMA_VERSION})"
+    )
+    print(table.render())
+    try:
+        if args.output:
+            result.to_json(args.output)
+            print(f"[results written to {args.output}]")
+        if args.csv:
+            result.to_csv(args.csv)
+            print(f"[CSV written to {args.csv}]")
+    except OSError as exc:
+        print(f"error: cannot write results: {exc}", file=sys.stderr)
+        return 1
+    if result.failures():
+        print(f"VALIDATION FAILED for {len(result.failures())} cells",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -216,7 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser(
-        "list", help="list workloads, codecs, predictors, strategies"
+        "list", help="list every pluggable component family"
     ).set_defaults(func=cmd_list)
 
     inspect_parser = subparsers.add_parser(
@@ -240,10 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("workload", choices=available_workloads())
     sweep_parser.add_argument(
-        "--k-values", default="1,2,4,8,16,inf",
-        help="comma-separated k list; 'inf' = never recompress",
+        "--k-values", default="1,2,4,8,16,inf", type=_parse_k_list,
+        metavar="LIST",
+        help="comma-separated positive k list; 'inf' or 'none' = never "
+             "recompress (default: 1,2,4,8,16,inf)",
     )
     _add_config_arguments(sweep_parser)
+    _add_engine_arguments(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     compare_parser = subparsers.add_parser(
@@ -252,7 +346,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("workload",
                                 choices=available_workloads())
     _add_config_arguments(compare_parser)
+    _add_engine_arguments(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    exp_parser = subparsers.add_parser(
+        "exp", help="run a declarative JSON experiment spec"
+    )
+    exp_parser.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="JSON experiment spec (see README: repro.api quickstart)",
+    )
+    exp_parser.add_argument(
+        "--engine", default=None, choices=api.available_engines(),
+        help="override the spec's sweep engine",
+    )
+    exp_parser.add_argument(
+        "--executor", default=None, choices=api.EXECUTORS.names(),
+        help="override the spec's executor",
+    )
+    exp_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="override the spec's worker process count",
+    )
+    exp_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the versioned result JSON here",
+    )
+    exp_parser.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the flat result CSV here",
+    )
+    exp_parser.set_defaults(func=cmd_exp)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run performance microbenchmarks "

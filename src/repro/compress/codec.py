@@ -14,6 +14,8 @@ import abc
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Type
 
+from ..registry import Registry
+
 
 class CodecError(ValueError):
     """Raised when a payload cannot be decoded (corruption, wrong codec)."""
@@ -121,18 +123,13 @@ def decompress_for_image(
     return codec.decompress(payload)
 
 
-_REGISTRY: Dict[str, Callable[[], Codec]] = {}
+#: The codec family, in the unified component catalog.
+CODECS = Registry("codecs")
 
 
 def register_codec(name: str) -> Callable[[Type[Codec]], Type[Codec]]:
     """Class decorator registering a codec under ``name``."""
-
-    def decorate(cls: Type[Codec]) -> Type[Codec]:
-        cls.name = name
-        _REGISTRY[name] = cls
-        return cls
-
-    return decorate
+    return CODECS.register(name)
 
 
 def get_codec(name: str) -> Codec:
@@ -140,18 +137,12 @@ def get_codec(name: str) -> Codec:
 
     Raises ``KeyError`` with the list of known codecs if absent.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown codec '{name}'; available: {sorted(_REGISTRY)}"
-        ) from None
-    return factory()
+    return CODECS.create(name)
 
 
 def available_codecs() -> List[str]:
     """Names of all registered codecs."""
-    return sorted(_REGISTRY)
+    return CODECS.names()
 
 
 register_codec("null")(NullCodec)

@@ -14,11 +14,14 @@ from typing import Optional
 
 from ..cfg.profile import EdgeProfile
 from ..compress.codec import available_codecs
+from ..strategies.base import STRATEGIES
 from ..strategies.predictor import available_predictors
 
 #: Decompression strategy names (Figure 3's design space plus the
-#: uncompressed baseline).
-DECOMPRESSION_STRATEGIES = ("ondemand", "pre-all", "pre-single", "none")
+#: uncompressed baseline).  Sourced from the unified registry so
+#: externally registered strategies are accepted; the tuple is a
+#: snapshot for display — validation checks the live registry.
+DECOMPRESSION_STRATEGIES = tuple(STRATEGIES.names(sort=False))
 
 #: Compression-unit granularities (paper vs. Debray-Evans baseline).
 GRANULARITIES = ("block", "function")
@@ -101,10 +104,10 @@ class SimulationConfig:
                 f"unknown codec '{self.codec}'; "
                 f"available: {available_codecs()}"
             )
-        if self.decompression not in DECOMPRESSION_STRATEGIES:
+        if self.decompression not in STRATEGIES:
             raise ConfigError(
                 f"unknown decompression strategy '{self.decompression}'; "
-                f"available: {DECOMPRESSION_STRATEGIES}"
+                f"available: {tuple(STRATEGIES.names(sort=False))}"
             )
         if self.k_compress is not None and self.k_compress < 1:
             raise ConfigError(

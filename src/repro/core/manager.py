@@ -40,7 +40,11 @@ from ..runtime.events import EventKind, EventLog
 from ..runtime.machine import Machine
 from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
 from ..runtime.threads import BackgroundWorker
-from ..strategies.base import CompressionPolicy, DecompressionPolicy
+from ..strategies.base import (
+    STRATEGIES,
+    CompressionPolicy,
+    DecompressionPolicy,
+)
 from ..strategies.budget import MemoryBudget
 from ..strategies.kedge import KEdgeCompression, NeverRecompress
 from ..strategies.ondemand import OnDemandDecompression
@@ -149,8 +153,16 @@ class CodeCompressionManager:
                 self.config.k_decompress,
                 make_predictor(self.config.predictor, self.config.profile),
             )
-        else:
+        elif self.config.decompression in ("ondemand", "none"):
+            # "none" skips the image entirely; the policy is inert.
             self.decompression = OnDemandDecompression()
+        else:
+            # An externally registered strategy: the factory is called
+            # with no arguments and may read the config through the
+            # ManagerView after bind() (self.config / self.cfg).
+            self.decompression = STRATEGIES.create(
+                self.config.decompression
+            )
         self.decompression.bind(self)
 
         self.budget: Optional[MemoryBudget] = None

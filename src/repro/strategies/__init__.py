@@ -1,6 +1,11 @@
 """Compression/decompression strategies — the paper's contribution layer."""
 
-from .base import CompressionPolicy, DecompressionPolicy, ManagerView
+from .base import (
+    STRATEGIES,
+    CompressionPolicy,
+    DecompressionPolicy,
+    ManagerView,
+)
 from .budget import BudgetError, MemoryBudget
 from .kedge import KEdgeCompression, NeverRecompress
 from .ondemand import OnDemandDecompression
@@ -16,7 +21,13 @@ from .predictor import (
     make_predictor,
 )
 
+# The uncompressed baseline: no image, no policy — the manager skips
+# the compression machinery entirely.  Registered here (not in a policy
+# module) because there is no class behind it.
+STRATEGIES.add("none", None)
+
 __all__ = [
+    "STRATEGIES",
     "BudgetError",
     "CompressionPolicy",
     "DecompressionPolicy",

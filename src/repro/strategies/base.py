@@ -17,6 +17,12 @@ from typing import Dict, Iterable, List, Optional, Protocol, Set
 
 from ..cfg.builder import ProgramCFG
 from ..cfg.profile import EdgeProfile
+from ..registry import Registry
+
+#: The decompression-strategy family, in the unified component catalog.
+#: Policy classes register themselves in their defining modules; the
+#: "none" baseline (no image, no policy) is added by the package init.
+STRATEGIES = Registry("strategies", item="decompression strategy")
 
 
 class ManagerView(Protocol):

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from typing import List
 
-from .base import DecompressionPolicy
+from .base import STRATEGIES, DecompressionPolicy
 
 
+@STRATEGIES.register("ondemand")
 class OnDemandDecompression(DecompressionPolicy):
     """Lazy decompression: react to faults only."""
 

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from .base import DecompressionPolicy
+from .base import STRATEGIES, DecompressionPolicy
 from .predictor import Predictor
 
 
+@STRATEGIES.register("pre-all")
 class PreDecompressAll(DecompressionPolicy):
     """Decompress every block within k forward edges of the current exit."""
 
@@ -41,6 +42,7 @@ class PreDecompressAll(DecompressionPolicy):
         return sorted(self.view.cfg.forward_neighbourhood(block_id, self.k))
 
 
+@STRATEGIES.register("pre-single")
 class PreDecompressSingle(DecompressionPolicy):
     """Decompress the single most-likely-needed block within k edges.
 

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from ..cfg.builder import ProgramCFG
 from ..cfg.profile import EdgeProfile
+from ..registry import Registry
 
 
 class Predictor(abc.ABC):
@@ -136,12 +137,12 @@ class MarkovPredictor(Predictor):
         self._previous, self._current = src, dst
 
 
-_PREDICTORS = {
-    "static-profile": StaticProfilePredictor,
-    "online-profile": OnlineProfilePredictor,
-    "last-successor": LastSuccessorPredictor,
-    "markov": MarkovPredictor,
-}
+#: The predictor family, in the unified component catalog.
+PREDICTORS = Registry("predictors")
+PREDICTORS.add("static-profile", StaticProfilePredictor)
+PREDICTORS.add("online-profile", OnlineProfilePredictor)
+PREDICTORS.add("last-successor", LastSuccessorPredictor)
+PREDICTORS.add("markov", MarkovPredictor)
 
 
 def make_predictor(
@@ -151,19 +152,16 @@ def make_predictor(
 
     ``static-profile`` requires ``profile``; the others ignore it.
     """
-    if name not in _PREDICTORS:
-        raise KeyError(
-            f"unknown predictor '{name}'; available: {sorted(_PREDICTORS)}"
-        )
-    if name == "static-profile":
+    cls = PREDICTORS.get(name)
+    if cls is StaticProfilePredictor:
         if profile is None:
             raise ValueError(
                 "static-profile predictor needs an offline EdgeProfile"
             )
         return StaticProfilePredictor(profile)
-    return _PREDICTORS[name]()
+    return cls()
 
 
 def available_predictors() -> list:
     """Names of all predictors."""
-    return sorted(_PREDICTORS)
+    return PREDICTORS.names()

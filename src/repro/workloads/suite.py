@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..isa.program import Program
+from ..registry import Registry
 from ..runtime.machine import Machine
 
 
@@ -37,33 +38,23 @@ class Workload:
         return self.check(machine)
 
 
-_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+#: The workload family, in the unified component catalog.
+WORKLOADS = Registry("workloads")
 
 
 def register_workload(name: str):
     """Decorator registering a zero-argument workload factory."""
-
-    def decorate(factory: Callable[[], Workload]):
-        _REGISTRY[name] = factory
-        return factory
-
-    return decorate
+    return WORKLOADS.register(name)
 
 
 def get_workload(name: str) -> Workload:
     """Instantiate the workload registered under ``name``."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload '{name}'; available: {sorted(_REGISTRY)}"
-        ) from None
-    return factory()
+    return WORKLOADS.create(name)
 
 
 def available_workloads() -> List[str]:
     """Names of all registered workloads."""
-    return sorted(_REGISTRY)
+    return WORKLOADS.names()
 
 
 def full_suite() -> List[Workload]:

@@ -1,0 +1,122 @@
+"""Executor transparency: parallel == serial, byte for byte.
+
+The acceptance bar for the repro.api executor layer: running the E1
+k-edge grid with ``ParallelExecutor(jobs=4)`` must produce a ResultSet
+equal to ``SerialExecutor`` — same cells in the same order, same
+metrics, same serialised JSON once the execution-provenance block
+(executor, jobs, wall-clock) is dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core import SimulationConfig
+
+#: The E1 grid: the experiment kernels x the k-edge sweep (trace
+#: engine), exactly as benchmarks/test_e1_kedge_sweep.py runs it.
+E1_WORKLOADS = (
+    "composite", "cold_paths", "modular", "fsm",
+    "dijkstra", "quicksort", "adpcm", "crc32",
+)
+E1_K_VALUES = (1, 2, 4, 8, 16, 32, "inf")
+
+
+@pytest.fixture(scope="module")
+def e1_spec():
+    return api.ExperimentSpec(
+        name="e1-parallel-equivalence",
+        workloads=list(E1_WORKLOADS),
+        base={"codec": "shared-dict", "decompression": "ondemand"},
+        axes=api.grid(k_compress=list(E1_K_VALUES)),
+        engine="trace",
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(e1_spec):
+    return api.run_experiment(e1_spec, executor="serial")
+
+
+class TestParallelEqualsSerial:
+    def test_e1_grid_identical_under_4_jobs(self, e1_spec,
+                                            serial_result):
+        parallel = api.run_experiment(
+            e1_spec, executor=api.ParallelExecutor(jobs=4)
+        )
+        assert parallel.meta["executor"] == "parallel"
+        assert parallel.meta["jobs"] == 4
+        assert serial_result.meta["executor"] == "serial"
+
+        assert len(parallel) == len(serial_result) == \
+            len(E1_WORKLOADS) * len(E1_K_VALUES)
+        # Same cells, same order.
+        assert [(r.workload, r.config.strategy_name)
+                for r in parallel.runs] == \
+            [(r.workload, r.config.strategy_name)
+             for r in serial_result.runs]
+        # Same metrics, cell by cell.
+        for mine, ref in zip(parallel.runs, serial_result.runs):
+            assert mine.result.summary() == ref.result.summary()
+            assert mine.validation == ref.validation
+        # Same serialised JSON minus the execution/timing block.
+        assert parallel.to_json(include_execution=False) == \
+            serial_result.to_json(include_execution=False)
+
+    def test_no_validation_failures(self, serial_result):
+        assert serial_result.failures() == []
+
+
+class TestEngineAgreementThroughApi:
+    def test_machine_and_trace_engines_agree(self):
+        spec_kwargs = dict(
+            workloads=["fsm", "crc32"],
+            base={"codec": "shared-dict", "decompression": "ondemand"},
+            axes=api.grid(k_compress=[2, 8]),
+        )
+        machine = api.run_experiment(
+            api.ExperimentSpec(engine="machine", **spec_kwargs)
+        )
+        trace = api.run_experiment(
+            api.ExperimentSpec(engine="trace", **spec_kwargs)
+        )
+        assert machine.to_dict(include_execution=False)["cells"] == \
+            trace.to_dict(include_execution=False)["cells"]
+
+
+class TestUnregisteredWorkloadFallback:
+    def test_parallel_runs_unpicklable_workload_locally(self):
+        # A Workload whose oracle is a closure cannot be shipped to a
+        # worker process; the parallel executor must fall back to
+        # in-process execution and still match serial output.
+        from repro.runtime.machine import Machine
+        from repro.workloads import Workload, generate_sized_program, \
+            get_workload
+
+        marker = []  # captured: makes the closure unpicklable
+
+        def check(machine: Machine):
+            marker.append(1)
+            return []
+
+        synth = Workload(
+            name="synth-local",
+            description="generated app",
+            program=generate_sized_program(seed=3, target_bytes=2000),
+            check=check,
+        )
+        workloads = [get_workload("fib"), synth]
+        configs = [
+            SimulationConfig(decompression="ondemand", k_compress=k,
+                             trace_events=False, record_trace=False)
+            for k in (1, 4)
+        ]
+        serial = api.run_grid(workloads, configs, engine="trace",
+                              executor="serial")
+        parallel = api.run_grid(workloads, configs, engine="trace",
+                                executor="parallel", jobs=2)
+        assert parallel.to_json(include_execution=False) == \
+            serial.to_json(include_execution=False)
+        assert [r.workload for r in parallel.runs] == \
+            ["fib", "fib", "synth-local", "synth-local"]

@@ -14,6 +14,15 @@ class TestList:
         assert "online-profile" in out
         assert "pre-single" in out
 
+    def test_lists_every_registry_family(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for kind in ("codecs", "strategies", "predictors",
+                     "engines", "executors"):
+            assert f"{kind}:" in out, kind
+        assert "machine, trace" in out
+        assert "parallel, serial" in out
+
 
 class TestInspect:
     def test_inspect_shows_cfg_and_ratios(self, capsys):
@@ -72,6 +81,36 @@ class TestSweep:
         ]
         assert len(data_rows) == 2
 
+    def test_sweep_accepts_none_for_infinity(self, capsys):
+        assert main(["sweep", "fib", "--k-values", "1,none"]) == 0
+        assert "inf" in capsys.readouterr().out
+
+    def test_sweep_rejects_zero_k(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "gcd", "--k-values", "0"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "k must be >= 1" in err
+        assert "'inf'" in err
+
+    def test_sweep_rejects_negative_and_garbage_k(self):
+        for bad in ("-4", "1,fast", ""):
+            with pytest.raises(SystemExit):
+                main(["sweep", "gcd", "--k-values", bad])
+
+    def test_sweep_trace_engine_matches_machine(self, capsys):
+        assert main(["sweep", "gcd", "--k-values", "1,4",
+                     "--engine", "trace"]) == 0
+        trace_out = capsys.readouterr().out
+        assert main(["sweep", "gcd", "--k-values", "1,4",
+                     "--engine", "machine"]) == 0
+        assert capsys.readouterr().out == trace_out
+
+    def test_sweep_jobs_flag(self, capsys):
+        assert main(["sweep", "fib", "--k-values", "1,2",
+                     "--jobs", "2"]) == 0
+        assert "k-edge sweep" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_compare_strategies(self, capsys):
@@ -80,3 +119,68 @@ class TestCompare:
         for label in ("uncompressed", "ondemand", "pre-all",
                       "pre-single"):
             assert label in out
+
+    def test_compare_trace_engine(self, capsys):
+        assert main(["compare", "gcd", "--engine", "trace"]) == 0
+        assert "design space" in capsys.readouterr().out
+
+
+class TestExp:
+    SPEC = {
+        "name": "cli-test",
+        "workloads": ["fib", "gcd"],
+        "base": {"codec": "shared-dict", "decompression": "ondemand"},
+        "axes": {"grid": {"k_compress": [1, "inf"]}},
+        "engine": "trace",
+    }
+
+    def _write_spec(self, tmp_path, spec=None):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec or self.SPEC))
+        return str(path)
+
+    def test_exp_runs_spec(self, capsys, tmp_path):
+        assert main(["exp", "--spec",
+                     self._write_spec(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment 'cli-test'" in out
+        assert "4 cells over 2 workloads" in out
+        assert "schema v1" in out
+
+    def test_exp_writes_versioned_json_and_csv(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "rs.json"
+        out_csv = tmp_path / "rs.csv"
+        assert main([
+            "exp", "--spec", self._write_spec(tmp_path),
+            "--jobs", "2",
+            "--output", str(out_json), "--csv", str(out_csv),
+        ]) == 0
+        data = json.loads(out_json.read_text())
+        assert data["schema"] == "repro.api.resultset"
+        assert data["version"] == 1
+        assert len(data["cells"]) == 4
+        assert data["execution"]["executor"] == "parallel"
+        assert out_csv.read_text().startswith("workload,label,")
+
+    def test_exp_engine_override(self, capsys, tmp_path):
+        assert main([
+            "exp", "--spec", self._write_spec(tmp_path),
+            "--engine", "machine",
+        ]) == 0
+        assert "machine engine" in capsys.readouterr().out
+
+    def test_exp_missing_spec_file(self, capsys, tmp_path):
+        assert main(["exp", "--spec",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_exp_bad_spec(self, capsys, tmp_path):
+        path = self._write_spec(
+            tmp_path, {"workloads": ["fib"], "axes": {"warp": {}}}
+        )
+        assert main(["exp", "--spec", path]) == 2
+        assert "axes operator" in capsys.readouterr().err

@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke experiments examples verify
+.PHONY: test bench bench-smoke experiments examples store-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,13 @@ examples:
 		> /dev/null
 	@echo "examples OK"
 
-verify: test bench-smoke examples
+# Run a tiny sweep twice against a throwaway store and assert the
+# second run is served >= 90% from cache with a byte-identical result
+# set (fingerprints, CAS round-trip, and cache-hit-equals-recompute,
+# end to end through the public facade).
+store-smoke:
+	$(PYTHON) -m repro store smoke
+
+verify: test bench-smoke examples store-smoke
 	@echo "verify OK: tier-1 tests green, fast-path output matches" \
-		"seed, examples run"
+		"seed, examples run, store serves repeat sweeps from cache"

@@ -37,7 +37,7 @@ from ..core.config import SimulationConfig
 from ..core.manager import _TRACE_CAP, CodeCompressionManager
 from ..isa.program import Program
 from ..registry import Registry
-from ..runtime.metrics import SimulationResult
+from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
 from ..runtime.trace_sim import PreparedTrace, simulate_trace
 from ..workloads.suite import Workload
 
@@ -54,12 +54,18 @@ def available_engines() -> List[str]:
 
 @dataclass
 class SweepRun:
-    """One (workload, config) cell of a sweep."""
+    """One (workload, config) cell of a sweep.
+
+    ``error`` is set (and mirrored into ``validation``) when the cell
+    raised instead of completing; its result is an all-zero placeholder
+    so table extraction never crashes on a failed cell.
+    """
 
     workload: str
     config: SimulationConfig
     result: SimulationResult
     validation: List[str] = field(default_factory=list)
+    error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -96,9 +102,25 @@ class SweepResult:
         """Runs whose oracle rejected the final machine state."""
         return [run for run in self.runs if not run.ok]
 
+    def errors(self) -> List[SweepRun]:
+        """Runs whose cell raised instead of completing."""
+        return [run for run in self.runs if run.error is not None]
+
 
 #: Default fast-simulation overrides applied to every sweep config.
 _FAST = {"trace_events": False, "record_trace": False}
+
+
+def effective_config(
+    config: SimulationConfig, fast: bool = True
+) -> SimulationConfig:
+    """The config a sweep cell actually reports under.
+
+    ``fast=True`` disables event/trace recording; every engine applies
+    this before running, and cache fingerprints are computed on the
+    result so a cell's identity matches what its runs carry.
+    """
+    return config.replace(**_FAST) if fast else config
 
 
 def run_one(
@@ -117,6 +139,56 @@ def run_one(
         result=result,
         validation=workload.validate(manager.machine),
     )
+
+
+def _failed_run(
+    workload: Workload, config: SimulationConfig, exc: BaseException
+) -> SweepRun:
+    """An error cell: all-zero metrics, failure recorded loudly.
+
+    The message lands in both ``error`` and ``validation`` so the run
+    counts as a failure everywhere (``ok`` is False, ``failures()``
+    finds it, the CLI exits nonzero and names the cell).
+    """
+    message = f"{type(exc).__name__}: {exc}"
+    result = SimulationResult(
+        program=workload.name,
+        strategy=config.strategy_name,
+        codec=config.codec,
+        k_compress=config.k_compress,
+        k_decompress=(
+            config.k_decompress
+            if config.decompression in ("pre-all", "pre-single")
+            else None
+        ),
+        total_cycles=0,
+        execution_cycles=0,
+        counters=Counters(),
+        footprint=FootprintTimeline(),
+        uncompressed_size=0,
+        compressed_size=0,
+    )
+    return SweepRun(
+        workload=workload.name,
+        config=config,
+        result=result,
+        validation=[f"cell raised {message}"],
+        error=message,
+    )
+
+
+def run_one_safe(
+    workload: Workload,
+    config: SimulationConfig,
+    cfg: Optional[ProgramCFG] = None,
+    max_blocks: Optional[int] = None,
+) -> SweepRun:
+    """Like :func:`run_one`, but a raising cell becomes an error run
+    instead of aborting the whole grid (KeyboardInterrupt excepted)."""
+    try:
+        return run_one(workload, config, cfg=cfg, max_blocks=max_blocks)
+    except Exception as exc:
+        return _failed_run(workload, config, exc)
 
 
 def sweep(
@@ -158,10 +230,11 @@ def _machine_sweep_workload(
     max_blocks: Optional[int],
 ) -> List[SweepRun]:
     """One workload's grid row, interpreting every instruction of every
-    cell — the gold standard."""
+    cell — the gold standard.  A raising cell becomes an error run; the
+    rest of the grid still completes."""
     return [
-        run_one(workload, config.replace(**_FAST) if fast else config,
-                cfg=graph, max_blocks=max_blocks)
+        run_one_safe(workload, effective_config(config, fast),
+                     cfg=graph, max_blocks=max_blocks)
         for config in configs
     ]
 
@@ -185,9 +258,22 @@ def _trace_sweep_workload(
     # caller's effective config (recording changes no other metric).
     recording = configs[0].replace(trace_events=False, record_trace=True) \
         if fast else configs[0].replace(record_trace=True)
-    effective_first = configs[0].replace(**_FAST) if fast else configs[0]
+    effective_first = effective_config(configs[0], fast)
     manager = CodeCompressionManager(graph, recording)
-    result = manager.run(max_blocks=max_blocks)
+    try:
+        result = manager.run(max_blocks=max_blocks)
+    except Exception as exc:
+        # The recording cell raised: no trace to replay.  Report it as
+        # an error run and interpret the remaining cells individually
+        # (they may fail for config-specific reasons of their own).
+        runs.append(_failed_run(workload, effective_first, exc))
+        for config in configs[1:]:
+            effective = effective_config(config, fast)
+            runs.append(
+                run_one_safe(workload, effective, cfg=graph,
+                             max_blocks=max_blocks)
+            )
+        return runs
     validation = workload.validate(manager.machine)
     trace = result.block_trace
     complete = trace and result.counters.blocks_executed == len(trace) \
@@ -202,18 +288,27 @@ def _trace_sweep_workload(
                  result=result, validation=validation)
     )
     for config in configs[1:]:
-        effective = config.replace(**_FAST) if fast else config
+        effective = effective_config(config, fast)
         if complete:
-            replayed = simulate_trace(graph, prepared, effective,
-                                      max_blocks=max_blocks)
+            try:
+                replayed = simulate_trace(graph, prepared, effective,
+                                          max_blocks=max_blocks)
+            except Exception:
+                # Replay failed for this cell: fall back to the
+                # interpreting path (which captures its own errors).
+                runs.append(
+                    run_one_safe(workload, effective, cfg=graph,
+                                 max_blocks=max_blocks)
+                )
+                continue
             runs.append(
                 SweepRun(workload=workload.name, config=effective,
                          result=replayed, validation=list(validation))
             )
         else:
             runs.append(
-                run_one(workload, effective, cfg=graph,
-                        max_blocks=max_blocks)
+                run_one_safe(workload, effective, cfg=graph,
+                             max_blocks=max_blocks)
             )
     return runs
 

@@ -38,7 +38,7 @@ Quickstart::
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from ..analysis.sweep import ENGINES, SweepRun, available_engines, run_one
 from ..cfg.builder import ProgramCFG, build_cfg
@@ -76,15 +76,35 @@ from .spec import (
 run_cell = run_one
 
 
+def _cache_meta(executor: Executor) -> "dict[str, Any]":
+    """Execution-provenance cache stats, when the executor keeps any."""
+    hits = getattr(executor, "hits", None)
+    misses = getattr(executor, "misses", None)
+    if hits is None or misses is None:
+        return {}
+    store = getattr(executor, "store", None)
+    return {
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "store": getattr(store, "root", None),
+        }
+    }
+
+
 def run_experiment(
     spec: ExperimentSpec,
     executor: Union[str, Executor, None] = None,
     jobs: Optional[int] = None,
+    store: Union[str, bool, None] = None,
 ) -> ResultSet:
     """Expand and execute a spec; the declarative entry point.
 
-    ``executor``/``jobs`` override the spec's own choices (the CLI's
-    ``--jobs N`` flows through here).
+    ``executor``/``jobs``/``store`` override the spec's own choices
+    (the CLI's ``--jobs N`` and ``--store DIR``/``--no-cache`` flow
+    through here).  A resolved store wraps the chosen executor in the
+    :class:`~repro.store.executor.CachingExecutor`, so only missing or
+    changed cells are computed.
     """
     effective_jobs = jobs if jobs is not None else spec.jobs
     if executor is None:
@@ -92,7 +112,9 @@ def run_experiment(
             executor = "parallel"
         else:
             executor = spec.executor
-    chosen = make_executor(executor, jobs=effective_jobs)
+    if store is None:
+        store = spec.store
+    chosen = make_executor(executor, jobs=effective_jobs, store=store)
     partitions = [
         Partition(workload=name, configs=configs)
         for name, configs in spec.partitions()
@@ -111,6 +133,7 @@ def run_experiment(
             "executor": chosen.name,
             "jobs": chosen.jobs,
             "timing": {"elapsed_s": elapsed},
+            **_cache_meta(chosen),
         },
     )
 
@@ -123,19 +146,22 @@ def run_grid(
     jobs: Optional[int] = None,
     fast: bool = True,
     max_blocks: Optional[int] = None,
+    store: Union[str, bool, None] = None,
 ) -> ResultSet:
     """Run an already-expanded (workloads x configs) grid.
 
     The imperative sibling of :func:`run_experiment`, for callers that
     build :class:`SimulationConfig` objects directly (the benchmarks) or
     hold unregistered :class:`Workload` objects (synthetic programs).
+    ``store=None`` consults ``$REPRO_STORE_DIR`` — the opt-in that lets
+    the E1-E12 benchmarks reuse cached cells with no code change.
     """
     if engine not in ENGINES:
         raise ValueError(
             f"unknown sweep engine '{engine}'; "
             f"available: {tuple(available_engines())}"
         )
-    chosen = make_executor(executor, jobs=jobs)
+    chosen = make_executor(executor, jobs=jobs, store=store)
     partitions = [
         Partition(workload=workload, configs=list(configs))
         for workload in workloads
@@ -152,6 +178,7 @@ def run_grid(
             "executor": chosen.name,
             "jobs": chosen.jobs,
             "timing": {"elapsed_s": elapsed},
+            **_cache_meta(chosen),
         },
     )
 
@@ -186,7 +213,22 @@ def list_components() -> "dict[str, List[str]]":
     }
 
 
+# Registers the "caching" executor in EXECUTORS.  A module (not name)
+# import: repro.store.executor imports this package, and during that
+# circular first import the name would not be bound yet.
+from ..store import executor as _store_executor  # noqa: E402
+
+
+def __getattr__(name: str):
+    if name == "CachingExecutor":
+        return _store_executor.CachingExecutor
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
+    "CachingExecutor",
     "Cell",
     "EXECUTORS",
     "ENGINES",

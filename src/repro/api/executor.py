@@ -191,12 +191,47 @@ class ParallelExecutor(Executor):
 def make_executor(
     name_or_executor: Union[str, Executor, None],
     jobs: Optional[int] = None,
+    store: Union[str, bool, None] = None,
 ) -> Executor:
     """Resolve an executor argument: an instance passes through, a name
     is instantiated from the registry, ``None`` picks serial for one job
-    and parallel otherwise."""
+    and parallel otherwise.
+
+    ``store`` selects the persistent result cache
+    (:mod:`repro.store`): a directory path (or ``True``/``""`` for the
+    default directory) wraps the chosen executor in the
+    :class:`~repro.store.executor.CachingExecutor`; ``None`` consults
+    ``$REPRO_STORE_DIR`` (the opt-in used by the E1-E12 benchmarks);
+    ``False`` disables caching outright.
+    """
+    # Late imports: repro.store.executor imports this module.
+    from ..store.cas import resolve_store_dir
+    from ..store.executor import CachingExecutor
+
+    resolved = resolve_store_dir(store)
     if isinstance(name_or_executor, Executor):
+        # An explicitly requested store still applies to instance
+        # executors (it would be silently lost otherwise).
+        if resolved is not None and not isinstance(
+            name_or_executor, CachingExecutor
+        ):
+            return CachingExecutor(
+                jobs=jobs, store=resolved, inner=name_or_executor
+            )
         return name_or_executor
     if name_or_executor is None:
         name_or_executor = "parallel" if jobs and jobs > 1 else "serial"
+    if name_or_executor == "caching":
+        if store is False:
+            # --no-cache wins over a spec that named the caching
+            # executor: fall back to the plain equivalent.
+            name_or_executor = (
+                "parallel" if jobs and jobs > 1 else "serial"
+            )
+            return EXECUTORS.create(name_or_executor, jobs=jobs)
+        return CachingExecutor(jobs=jobs, store=resolved)
+    if resolved is not None:
+        return CachingExecutor(
+            jobs=jobs, store=resolved, inner=name_or_executor
+        )
     return EXECUTORS.create(name_or_executor, jobs=jobs)

@@ -141,6 +141,11 @@ class ResultSet:
         """Runs whose oracle rejected the final machine state."""
         return [run for run in self.runs if not run.ok]
 
+    def errors(self) -> List[SweepRun]:
+        """Runs whose cell raised instead of completing (a subset of
+        :meth:`failures`)."""
+        return [run for run in self.runs if run.error is not None]
+
     # ------------------------------------------------------------------
     # Extraction
     # ------------------------------------------------------------------
@@ -237,7 +242,9 @@ class ResultSet:
 
     #: Meta keys that describe *how* the grid ran rather than *what* it
     #: produced; serialised under "execution" and excluded from equality.
-    EXECUTION_KEYS = ("executor", "jobs", "timing")
+    #: Cache provenance (store hits/misses) is execution detail too: a
+    #: fully cached run must compare equal to a cold one.
+    EXECUTION_KEYS = ("executor", "jobs", "timing", "cache")
 
     def to_dict(self, include_execution: bool = True) -> Dict[str, Any]:
         """The versioned JSON-shaped form (see module docstring)."""
@@ -245,21 +252,24 @@ class ResultSet:
             k: v for k, v in self.meta.items()
             if k not in self.EXECUTION_KEYS
         }
+        cells = []
+        for run in self.runs:
+            cell: Dict[str, Any] = {
+                "workload": run.workload,
+                "label": run.config.strategy_name,
+                "config": config_to_dict(run.config),
+                "metrics": run_metrics(run),
+                "ok": run.ok,
+                "validation": list(run.validation),
+            }
+            if run.error is not None:
+                cell["error"] = run.error
+            cells.append(cell)
         out: Dict[str, Any] = {
             "schema": SCHEMA_ID,
             "version": SCHEMA_VERSION,
             "meta": meta,
-            "cells": [
-                {
-                    "workload": run.workload,
-                    "label": run.config.strategy_name,
-                    "config": config_to_dict(run.config),
-                    "metrics": run_metrics(run),
-                    "ok": run.ok,
-                    "validation": list(run.validation),
-                }
-                for run in self.runs
-            ],
+            "cells": cells,
         }
         if include_execution:
             out["execution"] = {
@@ -267,6 +277,8 @@ class ResultSet:
                 "jobs": self.meta.get("jobs"),
                 "timing": dict(self.meta.get("timing", {})),
             }
+            if "cache" in self.meta:
+                out["execution"]["cache"] = dict(self.meta["cache"])
         return out
 
     def to_json(
@@ -275,7 +287,14 @@ class ResultSet:
         include_execution: bool = True,
         indent: int = 2,
     ) -> str:
-        """Serialise to JSON; also writes ``path`` when given."""
+        """Serialise to JSON; also writes ``path`` when given.
+
+        Serialisation is canonical — keys sorted, rows in deterministic
+        cell order, floats emitted by the default repr — so identical
+        experiments produce byte-identical files (given
+        ``include_execution=False``, which drops wall-clock and
+        executor provenance).
+        """
         text = json.dumps(
             self.to_dict(include_execution=include_execution),
             indent=indent, sort_keys=True,
@@ -284,6 +303,42 @@ class ResultSet:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
         return text
+
+    def canonical_json(self, include_execution: bool = False) -> str:
+        """The compact canonical form: sorted keys, no whitespace,
+        execution provenance dropped by default.
+
+        Two runs of the same experiment — cached, parallel, serial —
+        produce byte-identical output here; the store smoke test and
+        the cache-equivalence integration tests compare exactly this.
+        """
+        return json.dumps(
+            self.to_dict(include_execution=include_execution),
+            sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+        )
+
+    def merge(self, *others: "ResultSet") -> "ResultSet":
+        """Compose partial result sets into one schema-v1 set.
+
+        Cells are identified by (workload, full config); the first
+        occurrence wins, scanning ``self`` then ``others`` in order —
+        so live results take precedence over (possibly older) cached
+        or previously saved partial sets.  Meta comes from ``self``.
+        """
+        merged: List[SweepRun] = []
+        seen = set()
+        for result_set in (self, *others):
+            for run in result_set.runs:
+                key = (
+                    run.workload,
+                    json.dumps(config_to_dict(run.config),
+                               sort_keys=True),
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged.append(run)
+        return ResultSet(merged, self.meta)
 
     def to_csv(self, path: Optional[str] = None) -> str:
         """Flat CSV: one row per cell, config axes + all metrics."""

@@ -172,13 +172,16 @@ class ExperimentSpec:
             single empty override runs the base config once.
         base: config fields shared by every cell.
         engine: sweep engine name ("machine" or "trace").
-        executor: executor name ("serial" or "parallel"); ``None``
-            (the default) picks "parallel" when ``jobs`` > 1, else
-            "serial".
+        executor: executor name ("serial", "parallel", or "caching");
+            ``None`` (the default) picks "parallel" when ``jobs`` > 1,
+            else "serial".
         jobs: worker processes for the parallel executor.
         fast: disable event/trace recording in every cell.
         max_blocks: optional per-cell block budget.
         name: spec name, carried into the result-set metadata.
+        store: persistent result-store directory (``repro.store``);
+            ``""`` selects the default location, ``None`` leaves the
+            choice to the runner (CLI flags / ``$REPRO_STORE_DIR``).
     """
 
     workloads: Union[str, Sequence[str]] = "all"
@@ -192,6 +195,7 @@ class ExperimentSpec:
     fast: bool = True
     max_blocks: Optional[int] = None
     name: str = "experiment"
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -288,7 +292,7 @@ class ExperimentSpec:
             )
         known = {
             "workloads", "axes", "base", "engine", "executor",
-            "jobs", "fast", "max_blocks", "name",
+            "jobs", "fast", "max_blocks", "name", "store",
         }
         unknown = [k for k in data if k not in known]
         if unknown:
@@ -327,6 +331,7 @@ class ExperimentSpec:
             "jobs": self.jobs,
             "fast": self.fast,
             "max_blocks": self.max_blocks,
+            "store": self.store,
         }
 
 

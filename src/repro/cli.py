@@ -11,6 +11,9 @@ Subcommands (all built on the :mod:`repro.api` facade):
 * ``exp``      — run a declarative JSON experiment spec
   (``--spec FILE``), optionally in parallel (``--jobs N``), and write
   the versioned result JSON/CSV;
+* ``store``    — the persistent experiment store: ``stats``, ``gc``,
+  ``clear``, and ``smoke`` (run a tiny sweep twice and assert the
+  second run is served from cache);
 * ``bench``    — performance microbenchmarks, written to
   ``BENCH_core.json`` (codec round-trips vs. the seed implementation
   and the machine- vs. trace-engine E1 sweep).
@@ -18,6 +21,14 @@ Subcommands (all built on the :mod:`repro.api` facade):
 ``sweep`` and ``compare`` accept ``--engine {machine,trace}`` (the
 trace-replay fast path) and ``--jobs N`` (process-parallel across
 workload partitions; with a single workload this changes nothing).
+``sweep``/``compare``/``exp`` accept ``--store [DIR]`` (serve repeated
+cells from the persistent store; DIR defaults to ``$REPRO_STORE_DIR``
+or ``~/.cache/repro-store``) and ``--no-cache`` (force recomputation
+even when ``$REPRO_STORE_DIR`` is set).
+
+Any cell that raises or fails oracle validation is listed on stderr
+and makes the command exit nonzero — failed cells are never silently
+dropped from a table.
 
 All output is plain text, suitable for piping into experiment notes.
 """
@@ -94,6 +105,48 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes (parallel across workloads; "
              "default: serial)",
     )
+    _add_cache_arguments(parser)
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="DIR",
+        help="serve repeated cells from the persistent experiment "
+             "store at DIR (no DIR: $REPRO_STORE_DIR or "
+             "~/.cache/repro-store)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="never consult the store, even when $REPRO_STORE_DIR "
+             "is set",
+    )
+
+
+def _store_from_args(args: argparse.Namespace):
+    """The ``store`` argument for the api layer: False disables, a
+    path/'' enables, None defers to $REPRO_STORE_DIR."""
+    if getattr(args, "no_cache", False):
+        return False
+    store = getattr(args, "store", None)
+    if store is None:
+        return None
+    return store if store else True
+
+
+def _report_cell_failures(result) -> int:
+    """List failed cells on stderr; the command's exit code."""
+    failed = result.failures()
+    if not failed:
+        return 0
+    print(f"error: {len(failed)} cell(s) failed:", file=sys.stderr)
+    for run in failed:
+        reason = run.error if run.error is not None \
+            else "; ".join(run.validation)
+        print(
+            f"  {run.workload} [{run.config.strategy_name}]: {reason}",
+            file=sys.stderr,
+        )
+    return 1
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -172,7 +225,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for k in k_values
     ]
     result = api.run_grid(
-        [workload], configs, engine=args.engine, jobs=args.jobs
+        [workload], configs, engine=args.engine, jobs=args.jobs,
+        store=_store_from_args(args),
     )
     table = Table(
         f"k-edge sweep for '{workload.name}' "
@@ -187,7 +241,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             percent(r.cycle_overhead), int(r.counters.faults),
         )
     print(table.render())
-    return 0 if not result.failures() else 1
+    return _report_cell_failures(result)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -209,7 +263,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             )
         )
     result = api.run_grid(
-        [workload], configs, engine=args.engine, jobs=args.jobs
+        [workload], configs, engine=args.engine, jobs=args.jobs,
+        store=_store_from_args(args),
     )
     table = Table(
         f"design space for '{workload.name}' ({args.codec}, "
@@ -225,7 +280,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             int(r.counters.stall_cycles),
         )
     print(table.render())
-    return 0 if not result.failures() else 1
+    return _report_cell_failures(result)
 
 
 def cmd_exp(args: argparse.Namespace) -> int:
@@ -237,7 +292,10 @@ def cmd_exp(args: argparse.Namespace) -> int:
     if args.engine is not None:
         spec.engine = args.engine
     executor = args.executor
-    result = api.run_experiment(spec, executor=executor, jobs=args.jobs)
+    result = api.run_experiment(
+        spec, executor=executor, jobs=args.jobs,
+        store=_store_from_args(args),
+    )
 
     table = Table(
         f"experiment '{spec.name}' "
@@ -256,10 +314,15 @@ def cmd_exp(args: argparse.Namespace) -> int:
             "yes" if run.ok else "NO",
         )
     elapsed = result.meta["timing"]["elapsed_s"]
+    cache = result.meta.get("cache")
+    cache_note = (
+        f", cache {cache['hits']} hit(s) / {cache['misses']} miss(es)"
+        if cache else ""
+    )
     table.add_note(
         f"{len(result.runs)} cells over "
-        f"{len(result.workloads())} workloads in {elapsed:.2f}s "
-        f"(result schema v{api.SCHEMA_VERSION})"
+        f"{len(result.workloads())} workloads in {elapsed:.2f}s"
+        f"{cache_note} (result schema v{api.SCHEMA_VERSION})"
     )
     print(table.render())
     try:
@@ -272,11 +335,112 @@ def cmd_exp(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot write results: {exc}", file=sys.stderr)
         return 1
-    if result.failures():
-        print(f"VALIDATION FAILED for {len(result.failures())} cells",
-              file=sys.stderr)
-        return 1
-    return 0
+    return _report_cell_failures(result)
+
+
+def _store_root(args: argparse.Namespace) -> str:
+    from .store import DEFAULT_STORE_DIR, resolve_store_dir
+
+    resolved = resolve_store_dir(
+        args.store if args.store else None
+    )
+    return resolved or DEFAULT_STORE_DIR
+
+
+def _cmd_store_smoke(args: argparse.Namespace) -> int:
+    """Run a tiny sweep twice; assert the second run comes from cache.
+
+    The ``make store-smoke`` / CI gate: proves fingerprint stability,
+    the CAS round-trip, and cache-hit-equals-recompute equivalence on
+    a real (small) grid, end to end through the public facade.
+    """
+    import shutil
+    import tempfile
+
+    temp = None
+    if args.store is None:
+        temp = tempfile.mkdtemp(prefix="repro-store-smoke-")
+        root = temp
+    else:
+        root = _store_root(args)
+    try:
+        spec = api.ExperimentSpec(
+            name="store-smoke",
+            workloads=["fib", "gcd"],
+            base={"codec": "shared-dict", "decompression": "ondemand"},
+            axes=api.grid(k_compress=[1, 2, "inf"]),
+            engine="trace",
+        )
+        first = api.run_experiment(spec, store=root)
+        second = api.run_experiment(spec, store=root)
+        cells = len(second)
+        hits = second.meta["cache"]["hits"]
+        identical = first.canonical_json() == second.canonical_json()
+        print(f"store smoke @ {root}")
+        print(f"  first run : {first.meta['cache']['hits']} hits / "
+              f"{first.meta['cache']['misses']} misses")
+        print(f"  second run: {hits} hits / "
+              f"{second.meta['cache']['misses']} misses "
+              f"({cells} cells)")
+        print(f"  result sets byte-identical: "
+              f"{'yes' if identical else 'NO'}")
+        if second.failures():
+            print("error: smoke sweep cells failed validation",
+                  file=sys.stderr)
+            return 1
+        if not identical:
+            print("error: cached result set differs from the "
+                  "recomputed one", file=sys.stderr)
+            return 1
+        if cells == 0 or hits < 0.9 * cells:
+            print(f"error: second run served {hits}/{cells} cells "
+                  f"from cache (need >= 90%)", file=sys.stderr)
+            return 1
+        print("store smoke OK")
+        return 0
+    finally:
+        if temp is not None:
+            shutil.rmtree(temp, ignore_errors=True)
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from .store import ExperimentStore, StoreError
+
+    if args.action == "smoke":
+        return _cmd_store_smoke(args)
+    root = _store_root(args)
+    try:
+        # Inspection commands never create a store: a mistyped --store
+        # errors instead of reporting a freshly made empty one.
+        store = ExperimentStore(root, create=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store @ {stats['root']} (format v{stats['format']})")
+        print(f"  cells:     {stats['cells']}")
+        print(f"  artifacts: {stats['artifacts']}")
+        print(f"  blobs:     {stats['blobs']} "
+              f"({stats['blob_bytes']} bytes)")
+        print(f"  usage:     {stats['hits']} hits, "
+              f"{stats['misses']} misses, {stats['puts']} puts")
+        return 0
+    if args.action == "gc":
+        report = store.gc()
+        print(f"gc @ {store.root}: removed "
+              f"{report['removed_blobs']} blob(s), freed "
+              f"{report['freed_bytes']} bytes")
+        return 0
+    if args.action == "clear":
+        try:
+            store.clear()
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"cleared store @ {store.root}")
+        return 0
+    raise AssertionError(f"unhandled store action {args.action!r}")
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -376,7 +540,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, metavar="PATH",
         help="write the flat result CSV here",
     )
+    _add_cache_arguments(exp_parser)
     exp_parser.set_defaults(func=cmd_exp)
+
+    store_parser = subparsers.add_parser(
+        "store", help="manage the persistent experiment store"
+    )
+    store_parser.add_argument(
+        "action", choices=("stats", "gc", "clear", "smoke"),
+        help="stats: inventory + hit counters; gc: drop unreferenced "
+             "blobs; clear: empty the store; smoke: run a tiny sweep "
+             "twice and assert the second run is served from cache",
+    )
+    store_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR or "
+             "~/.cache/repro-store; smoke defaults to a throwaway "
+             "temp dir)",
+    )
+    store_parser.set_defaults(func=cmd_store)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run performance microbenchmarks "

@@ -80,6 +80,26 @@ class SharedModelCodec(Codec, abc.ABC):
         if not self._trained:
             self.train([data])
 
+    @abc.abstractmethod
+    def _model_state(self) -> bytes:
+        """Subclass hook: a canonical byte serialisation of the model."""
+
+    def model_digest(self) -> str:
+        """SHA-256 over the trained model's canonical serialisation.
+
+        Training is deterministic, so two codecs trained on the same
+        corpus agree here — the experiment store uses this to assert
+        that payloads reloaded from disk decode under a freshly
+        retrained model exactly as they did under the original.
+        """
+        import hashlib
+
+        if not self._trained:
+            raise CodecError(
+                f"codec '{self.name}' must be trained before digesting"
+            )
+        return hashlib.sha256(self._model_state()).hexdigest()
+
     # ------------------------------------------------------------------
     # Sized format (1-byte overhead; length lives in the block table)
     # ------------------------------------------------------------------
@@ -171,6 +191,12 @@ class SharedDictionaryCodec(SharedModelCodec):
             1, (max(1, len(self._dictionary)) - 1).bit_length()
         )
 
+    def _model_state(self) -> bytes:
+        return (
+            self._index_bits.to_bytes(2, "big")
+            + b"".join(self._dictionary)
+        )
+
     @property
     def model_overhead_bytes(self) -> int:
         # Entries plus a 4-byte count/width header in the decoder.
@@ -249,6 +275,15 @@ class _ByteHuffmanModel:
         entries = len(self.codes)
         return entries + (entries + 1) // 2 + 2
 
+    def state_bytes(self) -> bytes:
+        """Canonical serialisation: (symbol, code, length) sorted rows."""
+        return b"".join(
+            symbol.to_bytes(2, "big")
+            + code.to_bytes(4, "big")
+            + length.to_bytes(1, "big")
+            for symbol, (code, length) in sorted(self.codes.items())
+        )
+
     def write_symbol(self, writer: BitWriter, symbol: int) -> None:
         entry = self.codes.get(symbol)
         if entry is None:
@@ -291,6 +326,9 @@ class SharedHuffmanCodec(SharedModelCodec):
         for sample in samples:
             frequencies.update(sample)
         self._model = _ByteHuffmanModel(frequencies)
+
+    def _model_state(self) -> bytes:
+        return self._model.state_bytes()
 
     @property
     def model_overhead_bytes(self) -> int:
@@ -346,6 +384,9 @@ class SharedFieldsCodec(SharedModelCodec):
             for offset, byte in enumerate(sample):
                 frequencies[offset % _WORD][byte] += 1
         self._models = [_ByteHuffmanModel(freq) for freq in frequencies]
+
+    def _model_state(self) -> bytes:
+        return b"\0".join(model.state_bytes() for model in self._models)
 
     @property
     def model_overhead_bytes(self) -> int:

@@ -115,8 +115,10 @@ class CodeCompressionManager:
         if self._uncompressed_mode:
             self.codec = get_codec(self.config.codec)
             self.image: Optional[CodeImage] = None
+            self._artifacts = None
         else:
             artifacts = compression_artifacts(cfg, self.config.codec)
+            self._artifacts = artifacts
             self.codec = artifacts.codec
             if self.config.image_scheme == "inplace":
                 self.image = InPlaceImage(
@@ -192,6 +194,30 @@ class CodeCompressionManager:
         self._blocks_entered = 0
         self.block_trace: List[int] = []
         self._current_block: Optional[int] = None
+
+    # ==================================================================
+    # Artifact export
+    # ==================================================================
+
+    def export_artifacts(self, store) -> Optional[str]:
+        """Persist this run's compressed-image artifacts into ``store``.
+
+        ``store`` is any object with the
+        :meth:`repro.store.cas.ExperimentStore.put_artifact_bundle`
+        interface (duck-typed so this layer never imports the store).
+        Returns the content-addressed artifact key, or None in
+        uncompressed mode (there is nothing to export).  The automatic
+        path — the provider installed by the caching executor — makes
+        this implicit for sweeps; the explicit hook serves one-off
+        instrumented runs (:func:`repro.api.run_instrumented`).
+        """
+        if self._artifacts is None:
+            return None
+        return store.put_artifact_bundle(
+            self.config.codec,
+            self._artifacts.block_data,
+            self._artifacts.payloads,
+        )
 
     # ==================================================================
     # ManagerView protocol (what policies can see)

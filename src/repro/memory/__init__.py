@@ -7,6 +7,7 @@ from .fragmentation import (
     snapshot,
 )
 from .image import (
+    ArtifactCache,
     BlockImage,
     CodeImage,
     CompressedCodeFault,
@@ -14,18 +15,23 @@ from .image import (
     ImageError,
     InPlaceImage,
     SeparateAreaImage,
+    artifact_cache,
     compression_artifacts,
+    set_artifact_provider,
 )
 from .remember_set import BranchSite, RememberSets
 
 __all__ = [
     "AllocationError",
+    "ArtifactCache",
+    "artifact_cache",
     "BlockImage",
     "BranchSite",
     "CodeImage",
     "CompressedCodeFault",
     "CompressionArtifacts",
     "compression_artifacts",
+    "set_artifact_provider",
     "FragmentationReport",
     "FragmentationTimeline",
     "FreeHole",

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import abc
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfg.builder import ProgramCFG
 from ..compress.codec import (
@@ -57,10 +58,107 @@ class CompressionArtifacts:
     plaintext: Dict[int, bytes] = field(default_factory=dict)
 
 
-#: (CFG -> codec name -> artifacts); weak keys so CFGs die normally.
-_ARTIFACT_CACHE: "weakref.WeakKeyDictionary[ProgramCFG, Dict[str, CompressionArtifacts]]" = (
-    weakref.WeakKeyDictionary()
-)
+class ArtifactCache:
+    """A bounded LRU over (CFG, codec name) -> artifacts.
+
+    The in-process memo used to grow without limit over long grid runs
+    (one entry per program x codec, each holding every compressed
+    payload and decompressed plaintext).  This cache caps the entry
+    count: least-recently-used (CFG, codec) pairs are dropped and simply
+    rebuilt on the next request.  Entries hold their CFG weakly, so a
+    dead CFG's artifacts leave the cache immediately rather than waiting
+    to age out.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        # key -> (weakref to the cfg, artifacts); keys use id() with the
+        # weakref guarding against id reuse after a CFG dies.
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[weakref.ref, CompressionArtifacts]]" = (
+            OrderedDict()
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of (CFG, codec) entries kept."""
+        return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the cache, evicting LRU entries if it shrank."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, cfg: ProgramCFG, codec_name: str
+    ) -> Optional[CompressionArtifacts]:
+        """The cached artifacts, refreshed as most-recently used."""
+        key = (id(cfg), codec_name)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        ref, artifacts = entry
+        if ref() is not cfg:  # id reused by a different (new) CFG
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return artifacts
+
+    def put(
+        self,
+        cfg: ProgramCFG,
+        codec_name: str,
+        artifacts: CompressionArtifacts,
+    ) -> None:
+        """Insert/refresh an entry, evicting LRU entries over capacity."""
+        key = (id(cfg), codec_name)
+
+        def _drop(_ref: weakref.ref, key=key) -> None:
+            self._entries.pop(key, None)
+
+        self._entries[key] = (weakref.ref(cfg, _drop), artifacts)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (long-lived processes reclaim memory now)."""
+        self._entries.clear()
+
+
+#: The process-wide shared-artifact memo (see :class:`ArtifactCache`).
+_ARTIFACTS = ArtifactCache()
+
+
+def artifact_cache() -> ArtifactCache:
+    """The process-wide (CFG, codec) artifact memo, for capacity tuning
+    and explicit :meth:`ArtifactCache.clear` calls."""
+    return _ARTIFACTS
+
+
+#: Optional persistent artifact provider (installed by ``repro.store``):
+#: an object with ``load(codec_name, block_data) -> payloads | None``
+#: and ``save(codec_name, block_data, payloads)``.  Lets a fresh process
+#: reuse compressed payloads another process already built.
+_artifact_provider = None
+
+
+def set_artifact_provider(provider):
+    """Install (or with None, remove) the persistent artifact provider.
+
+    Returns the previously installed provider so callers can restore it.
+    """
+    global _artifact_provider
+    previous = _artifact_provider
+    _artifact_provider = provider
+    return previous
 
 
 def compression_artifacts(
@@ -70,27 +168,40 @@ def compression_artifacts(
     ``(cfg, codec_name)``.
 
     The returned codec instance is trained (for shared-model codecs) and
-    must be treated as read-only; the payload list is indexed by block id.
+    must be treated as read-only; the payload list is indexed by block
+    id.  Lookup order: the in-process LRU memo, then the persistent
+    provider (when installed), then a full train-and-compress build —
+    whose payloads are offered back to the provider, best-effort.
     """
-    try:
-        per_codec = _ARTIFACT_CACHE[cfg]
-    except KeyError:
-        per_codec = _ARTIFACT_CACHE.setdefault(cfg, {})
-    artifacts = per_codec.get(codec_name)
-    if artifacts is None:
-        codec = get_codec(codec_name)
-        block_data = [block_bytes(block) for block in cfg.blocks]
-        if hasattr(codec, "train") and not getattr(
-            codec, "is_trained", True
-        ):
-            codec.train(block_data)
+    artifacts = _ARTIFACTS.get(cfg, codec_name)
+    if artifacts is not None:
+        return artifacts
+    codec = get_codec(codec_name)
+    block_data = [block_bytes(block) for block in cfg.blocks]
+    # Shared-model codecs must train either way: the trained model is
+    # needed to *decompress*, whatever produced the payloads.
+    if hasattr(codec, "train") and not getattr(codec, "is_trained", True):
+        codec.train(block_data)
+    payloads = None
+    provider = _artifact_provider
+    if provider is not None:
+        try:
+            payloads = provider.load(codec_name, block_data)
+        except Exception:
+            payloads = None
+    if payloads is None:
         payloads = [
             compress_for_image(codec, data) for data in block_data
         ]
-        artifacts = CompressionArtifacts(
-            codec=codec, block_data=block_data, payloads=payloads
-        )
-        per_codec[codec_name] = artifacts
+        if provider is not None:
+            try:
+                provider.save(codec_name, block_data, payloads)
+            except Exception:
+                pass  # persistence is best-effort, never fatal
+    artifacts = CompressionArtifacts(
+        codec=codec, block_data=block_data, payloads=payloads
+    )
+    _ARTIFACTS.put(cfg, codec_name, artifacts)
     return artifacts
 
 

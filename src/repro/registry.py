@@ -140,3 +140,18 @@ class Registry:
 def all_registries() -> Dict[str, Registry]:
     """The catalog of registries defined so far (import-order keyed)."""
     return dict(REGISTRIES)
+
+
+def catalog_signature() -> Dict[str, List[str]]:
+    """A stable snapshot of every catalogued family's member names.
+
+    Used by :mod:`repro.store.fingerprint` to salt cell fingerprints:
+    registering a new codec/strategy/engine changes process behaviour
+    without changing any repo source file, so the component catalog must
+    participate in cache invalidation.  Keys and name lists are sorted,
+    so the snapshot is canonical for a given set of registrations.
+    """
+    return {
+        kind: registry.names()
+        for kind, registry in sorted(REGISTRIES.items())
+    }

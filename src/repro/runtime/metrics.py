@@ -8,6 +8,7 @@ sections discuss.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,21 @@ class FootprintTimeline:
     def samples(self) -> List[Tuple[int, int]]:
         """The recorded (cycle, footprint) steps."""
         return list(self._samples)
+
+    @classmethod
+    def from_samples(
+        cls, samples: List[Tuple[int, int]]
+    ) -> "FootprintTimeline":
+        """Rebuild a timeline from serialised (cycle, footprint) steps.
+
+        Replays through :meth:`record`, so ordering is re-validated and
+        a reconstructed timeline is indistinguishable from the original
+        (the experiment store round-trips results through this).
+        """
+        timeline = cls()
+        for cycle, footprint in samples:
+            timeline.record(int(cycle), int(footprint))
+        return timeline
 
     @property
     def peak(self) -> int:
@@ -96,6 +112,29 @@ class Counters:
         if self.predictions == 0:
             return 0.0
         return self.correct_predictions / self.predictions
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counter fields as a flat name -> value dict."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "Counters":
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Strict: unknown or missing fields raise (the experiment store
+        treats that as a cache miss — a record written by a different
+        schema must never be half-read).
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        if set(data) != names:
+            raise ValueError(
+                f"counter fields {sorted(set(data) ^ names)} do not "
+                f"round-trip"
+            )
+        return cls(**{name: int(data[name]) for name in names})
 
 
 @dataclass

@@ -1,0 +1,120 @@
+"""Cell result records: SweepRun <-> JSON-safe dict round-trip.
+
+A record carries everything :class:`~repro.runtime.metrics.SimulationResult`
+holds — counters, footprint timeline steps, sizes, registers, the block
+trace — so a cache hit reconstructs a *live* result object whose derived
+metrics (summaries, savings, overheads) are byte-identical to a fresh
+simulation.  The configuration itself is NOT stored: the executor always
+has the live :class:`SimulationConfig` in hand (it computed the
+fingerprint from it), and re-attaching it guarantees record/config can
+never drift apart.
+
+Error runs are never recorded (a raising cell must re-raise on the next
+attempt, not be replayed from cache), and runs whose trace or timeline
+would bloat the store past :data:`MAX_CACHEABLE_ENTRIES` are skipped —
+the sweep still works, those cells just recompute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..analysis.sweep import SweepRun
+from ..core.config import SimulationConfig
+from ..runtime.metrics import (
+    Counters,
+    FootprintTimeline,
+    SimulationResult,
+)
+from .cas import StoreError
+
+#: Bumped on any change to the record shape.
+RECORD_VERSION = 1
+
+#: Schema identifier embedded in every stored cell record.
+RECORD_SCHEMA = "repro.store.cell"
+
+#: Cells whose block trace plus footprint timeline exceed this many
+#: entries are not cached (a multi-megabyte JSON per cell would turn the
+#: store into the bottleneck it exists to remove).
+MAX_CACHEABLE_ENTRIES = 200_000
+
+
+def is_cacheable(run: SweepRun) -> bool:
+    """True when ``run`` may be written to the store."""
+    if run.error is not None:
+        return False
+    result = run.result
+    entries = len(result.block_trace) + len(result.footprint.samples)
+    return entries <= MAX_CACHEABLE_ENTRIES
+
+
+def run_to_record(run: SweepRun, fingerprint: str) -> Dict[str, Any]:
+    """Serialise one completed cell into its JSON-safe record."""
+    result = run.result
+    return {
+        "schema": RECORD_SCHEMA,
+        "version": RECORD_VERSION,
+        "fingerprint": fingerprint,
+        "workload": run.workload,
+        "validation": list(run.validation),
+        "result": {
+            "program": result.program,
+            "strategy": result.strategy,
+            "codec": result.codec,
+            "k_compress": result.k_compress,
+            "k_decompress": result.k_decompress,
+            "total_cycles": result.total_cycles,
+            "execution_cycles": result.execution_cycles,
+            "counters": result.counters.to_dict(),
+            "footprint": [
+                [cycle, value]
+                for cycle, value in result.footprint.samples
+            ],
+            "uncompressed_size": result.uncompressed_size,
+            "compressed_size": result.compressed_size,
+            "registers": list(result.registers),
+            "block_trace": list(result.block_trace),
+        },
+    }
+
+
+def record_to_run(
+    record: Dict[str, Any], config: SimulationConfig
+) -> SweepRun:
+    """Rebuild a live :class:`SweepRun` from a stored record.
+
+    Raises :class:`StoreError` on any shape mismatch; callers treat
+    that as a cache miss and recompute.
+    """
+    try:
+        if record.get("schema") != RECORD_SCHEMA:
+            raise ValueError(f"schema {record.get('schema')!r}")
+        if record.get("version") != RECORD_VERSION:
+            raise ValueError(f"version {record.get('version')!r}")
+        data = record["result"]
+        result = SimulationResult(
+            program=data["program"],
+            strategy=data["strategy"],
+            codec=data["codec"],
+            k_compress=data["k_compress"],
+            k_decompress=data["k_decompress"],
+            total_cycles=int(data["total_cycles"]),
+            execution_cycles=int(data["execution_cycles"]),
+            counters=Counters.from_dict(data["counters"]),
+            footprint=FootprintTimeline.from_samples(
+                [(cycle, value) for cycle, value in data["footprint"]]
+            ),
+            uncompressed_size=int(data["uncompressed_size"]),
+            compressed_size=int(data["compressed_size"]),
+            registers=[int(r) for r in data["registers"]],
+            block_trace=[int(b) for b in data["block_trace"]],
+        )
+        return SweepRun(
+            workload=record["workload"],
+            config=config,
+            result=result,
+            validation=[str(v) for v in record["validation"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"malformed cell record: {exc}") from exc

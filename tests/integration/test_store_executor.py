@@ -1,0 +1,341 @@
+"""Integration tests for the caching executor and the store layer.
+
+The acceptance contract: running the same ExperimentSpec twice through
+the CachingExecutor produces a byte-identical ResultSet to an uncached
+run, with the second run executing zero simulator cells; a partial
+(interrupted) sweep resumes by computing only the missing cells; and
+two processes can write the same store concurrently without corrupting
+it.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro import api
+from repro.api.executor import SerialExecutor
+from repro.store import ExperimentStore
+from repro.store.executor import CachingExecutor
+
+
+def _spec(**overrides):
+    fields = dict(
+        name="store-int",
+        workloads=["fib", "gcd"],
+        base={"codec": "shared-dict", "decompression": "ondemand"},
+        axes=api.grid(k_compress=[1, "inf"]),
+        engine="trace",
+    )
+    fields.update(overrides)
+    return api.ExperimentSpec(**fields)
+
+
+class CountingSerial(SerialExecutor):
+    """A serial executor that counts the cells it actually computes."""
+
+    def __init__(self, jobs=None):
+        super().__init__(jobs)
+        self.cells_computed = 0
+
+    def run(self, partitions, engine="machine", fast=True,
+            max_blocks=None):
+        self.cells_computed += sum(
+            len(p.configs) for p in partitions
+        )
+        return super().run(partitions, engine=engine, fast=fast,
+                           max_blocks=max_blocks)
+
+
+class TestCacheEquivalence:
+    def test_second_run_is_byte_identical_and_computes_nothing(
+        self, tmp_path
+    ):
+        spec = _spec()
+        uncached = api.run_experiment(spec)
+
+        counting = CountingSerial()
+        executor = CachingExecutor(
+            store=str(tmp_path / "store"), inner=counting
+        )
+        first = api.run_experiment(spec, executor=executor)
+        assert executor.misses == len(uncached.runs)
+        assert counting.cells_computed == len(uncached.runs)
+
+        second = api.run_experiment(spec, executor=executor)
+        assert counting.cells_computed == len(uncached.runs), \
+            "second run must execute zero simulator cells"
+        assert executor.hits == len(uncached.runs)
+        assert second.canonical_json() == uncached.canonical_json()
+        assert first.canonical_json() == uncached.canonical_json()
+        # The persistent hit counter agrees with the session counters.
+        stats = executor.store.stats()
+        assert stats["hits"] == len(uncached.runs)
+        assert stats["misses"] == len(uncached.runs)
+
+    def test_cache_hits_survive_engine_consistency(self, tmp_path):
+        # machine and trace engines produce identical metrics but have
+        # distinct fingerprints: a trace-cached cell must not be served
+        # to a machine-engine request.
+        store = str(tmp_path / "store")
+        api.run_experiment(_spec(engine="trace"), store=store)
+        machine = api.run_experiment(_spec(engine="machine"),
+                                     store=store)
+        assert machine.meta["cache"]["hits"] == 0
+        assert machine.meta["cache"]["misses"] == len(machine.runs)
+
+    def test_parallel_inner_executor_matches(self, tmp_path):
+        spec = _spec(jobs=2)
+        store = str(tmp_path / "store")
+        uncached = api.run_experiment(spec)
+        first = api.run_experiment(spec, store=store)
+        second = api.run_experiment(spec, store=store)
+        assert second.meta["cache"]["hits"] == len(uncached.runs)
+        assert first.canonical_json() == uncached.canonical_json()
+        assert second.canonical_json() == uncached.canonical_json()
+
+
+class TestExecutorResolution:
+    def test_no_cache_beats_caching_executor_name(self, tmp_path,
+                                                  monkeypatch):
+        from repro.api.executor import make_executor
+
+        monkeypatch.setenv("REPRO_STORE_DIR",
+                           str(tmp_path / "env"))
+        chosen = make_executor("caching", store=False)
+        assert not isinstance(chosen, CachingExecutor)
+        assert not (tmp_path / "env").exists()
+
+    def test_instance_executor_honours_requested_store(self, tmp_path):
+        from repro.api.executor import make_executor
+
+        inner = SerialExecutor()
+        chosen = make_executor(inner,
+                               store=str(tmp_path / "store"))
+        assert isinstance(chosen, CachingExecutor)
+        assert chosen.inner is inner
+        # Without a store request, instances pass through untouched.
+        assert make_executor(inner) is inner
+        # A caching instance is never double-wrapped.
+        assert make_executor(chosen,
+                             store=str(tmp_path / "store")) is chosen
+
+
+class TestResume:
+    def test_interrupted_sweep_computes_only_missing_cells(
+        self, tmp_path
+    ):
+        store = str(tmp_path / "store")
+        partial = _spec(axes=api.grid(k_compress=[1]))
+        full = _spec(axes=api.grid(k_compress=[1, "inf"]))
+        api.run_experiment(partial, store=store)
+
+        resumed = api.run_experiment(full, store=store)
+        cache = resumed.meta["cache"]
+        assert cache["hits"] == len(partial.workload_names())
+        assert cache["misses"] == \
+            len(resumed.runs) - cache["hits"]
+        assert resumed.canonical_json() == \
+            api.run_experiment(full).canonical_json()
+
+    def test_hard_interrupted_serial_sweep_keeps_finished_partitions(
+        self, tmp_path
+    ):
+        # A serial inner persists partition by partition: when the
+        # second partition dies mid-run, the first one's cells are
+        # already on disk and the retry only recomputes the rest.
+        class DiesOnSecondCall(SerialExecutor):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def run(self, partitions, **kwargs):
+                self.calls += 1
+                if self.calls > 1:
+                    raise KeyboardInterrupt()
+                return super().run(partitions, **kwargs)
+
+        store_dir = str(tmp_path / "store")
+        spec = _spec()
+        broken = CachingExecutor(store=store_dir,
+                                 inner=DiesOnSecondCall())
+        with pytest.raises(KeyboardInterrupt):
+            api.run_experiment(spec, executor=broken)
+        assert ExperimentStore(store_dir).stats()["cells"] == 2
+
+        resumed = api.run_experiment(spec, store=store_dir)
+        assert resumed.meta["cache"]["hits"] == 2
+        assert resumed.meta["cache"]["misses"] == 2
+        assert resumed.canonical_json() == \
+            api.run_experiment(spec).canonical_json()
+
+    def test_result_set_merge_composes_partials(self, tmp_path):
+        partial = api.run_experiment(_spec(axes=api.grid(
+            k_compress=[1]
+        )))
+        full = api.run_experiment(_spec())
+        merged = partial.merge(full)
+        assert len(merged) == len(full)
+        # Live (partial) runs win; the rest come from the other set.
+        assert merged.runs[0] is partial.runs[0]
+        # Same cells (merge keeps self-first order, so compare as sets).
+        import json as json_module
+
+        def cell_set(result_set):
+            return {
+                json_module.dumps(cell, sort_keys=True)
+                for cell in result_set.to_dict(
+                    include_execution=False
+                )["cells"]
+            }
+
+        assert cell_set(merged) == cell_set(full)
+        # Merging a set with itself is the identity.
+        assert full.merge(full).canonical_json() == \
+            full.canonical_json()
+
+
+def _concurrent_worker(store_dir, barrier):
+    from repro import api as worker_api
+
+    spec = worker_api.ExperimentSpec(
+        name="store-int",
+        workloads=["fib", "gcd"],
+        base={"codec": "shared-dict", "decompression": "ondemand"},
+        axes=worker_api.grid(k_compress=[1, "inf"]),
+        engine="trace",
+    )
+    barrier.wait(timeout=60)  # maximise write overlap
+    result = worker_api.run_experiment(spec, store=store_dir)
+    if result.failures():
+        raise SystemExit(3)
+
+
+class TestConcurrency:
+    def test_two_processes_write_one_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(target=_concurrent_worker,
+                            args=(store_dir, barrier))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        # The store must be intact and fully warm: a third run in this
+        # process is served entirely from cache and matches a cold run.
+        spec = _spec()
+        cached = api.run_experiment(spec, store=store_dir)
+        assert cached.meta["cache"]["misses"] == 0
+        assert cached.meta["cache"]["hits"] == len(cached.runs)
+        assert cached.canonical_json() == \
+            api.run_experiment(spec).canonical_json()
+        store = ExperimentStore(store_dir)
+        stats = store.stats()
+        assert stats["cells"] == len(cached.runs)
+
+
+class TestErrorCells:
+    def test_raising_cell_reported_not_dropped(self):
+        # max_steps tiny -> the machine raises; the grid must still
+        # produce a row for every cell and flag the failures.
+        spec = _spec(base={
+            "codec": "shared-dict", "decompression": "ondemand",
+            "max_steps": 5,
+        })
+        result = api.run_experiment(spec)
+        assert len(result.runs) == 4
+        assert len(result.errors()) == 4
+        for run in result.errors():
+            assert not run.ok
+            assert "MachineError" in run.error
+        payload = result.to_dict()
+        assert all("error" in cell for cell in payload["cells"])
+
+    def test_error_cells_are_not_cached(self, tmp_path):
+        store = str(tmp_path / "store")
+        spec = _spec(base={
+            "codec": "shared-dict", "decompression": "ondemand",
+            "max_steps": 5,
+        })
+        first = api.run_experiment(spec, store=store)
+        assert first.meta["cache"]["misses"] == len(first.runs)
+        second = api.run_experiment(spec, store=store)
+        # Still misses: failures must re-raise, not replay from cache.
+        assert second.meta["cache"]["hits"] == 0
+        assert ExperimentStore(store).stats()["cells"] == 0
+
+
+class TestArtifactReuse:
+    def test_payloads_roundtrip_through_the_store(self, tmp_path):
+        from repro.cfg import build_cfg
+        from repro.memory.image import (
+            artifact_cache,
+            compression_artifacts,
+            set_artifact_provider,
+        )
+        from repro.store.executor import StoreArtifactProvider
+        from repro.workloads import get_workload
+
+        store = ExperimentStore(tmp_path / "store")
+        provider = StoreArtifactProvider(store)
+        graph = build_cfg(get_workload("crc32").program)
+        baseline = compression_artifacts(graph, "shared-dict")
+
+        previous = set_artifact_provider(provider)
+        try:
+            artifact_cache().clear()
+            saved = compression_artifacts(graph, "shared-dict")
+            assert saved.payloads == baseline.payloads
+            assert store.stats()["artifacts"] == 1
+            # A "new process": cold LRU, artifacts served from disk.
+            artifact_cache().clear()
+            loaded = compression_artifacts(graph, "shared-dict")
+            assert loaded.payloads == baseline.payloads
+            assert loaded.codec.model_digest() == \
+                baseline.codec.model_digest()
+        finally:
+            set_artifact_provider(previous)
+            artifact_cache().clear()
+
+    def test_manager_export_hook(self, tmp_path):
+        from repro.cfg import build_cfg
+        from repro.core import SimulationConfig
+        from repro.core.manager import CodeCompressionManager
+        from repro.workloads import get_workload
+
+        store = ExperimentStore(tmp_path / "store")
+        graph = build_cfg(get_workload("fib").program)
+        manager = CodeCompressionManager(
+            graph,
+            SimulationConfig(trace_events=False, record_trace=False),
+        )
+        key = manager.export_artifacts(store)
+        assert key is not None
+        assert store.get_artifact_bundle(
+            "shared-dict", manager._artifacts.block_data
+        ) == manager._artifacts.payloads
+
+    def test_uncompressed_manager_exports_nothing(self, tmp_path):
+        from repro.cfg import build_cfg
+        from repro.core import SimulationConfig
+        from repro.core.manager import CodeCompressionManager
+        from repro.workloads import get_workload
+
+        store = ExperimentStore(tmp_path / "store")
+        manager = CodeCompressionManager(
+            build_cfg(get_workload("fib").program),
+            SimulationConfig(decompression="none", codec="null",
+                             trace_events=False, record_trace=False),
+        )
+        assert manager.export_artifacts(store) is None
+
+    def test_env_var_does_not_leak_after_run(self, tmp_path):
+        spec = _spec(axes=api.grid(k_compress=[1]))
+        assert "REPRO_STORE_ARTIFACTS" not in os.environ
+        api.run_experiment(spec, store=str(tmp_path / "store"))
+        assert "REPRO_STORE_ARTIFACTS" not in os.environ

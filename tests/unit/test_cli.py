@@ -184,3 +184,91 @@ class TestExp:
         )
         assert main(["exp", "--spec", path]) == 2
         assert "axes operator" in capsys.readouterr().err
+
+    def test_exp_raising_cells_exit_nonzero_and_are_named(
+        self, capsys, tmp_path
+    ):
+        spec = dict(self.SPEC)
+        spec["base"] = {**spec["base"], "max_steps": 5}
+        assert main(["exp", "--spec",
+                     self._write_spec(tmp_path, spec)]) == 1
+        captured = capsys.readouterr()
+        assert "4 cell(s) failed" in captured.err
+        assert "fib [ondemand/kc=1]" in captured.err
+        assert "MachineError" in captured.err
+        # The table still lists every cell (nothing silently dropped).
+        assert captured.out.count(" NO") == 4
+
+
+class TestStoreCLI:
+    def _sweep(self, store):
+        return ["sweep", "gcd", "--k-values", "1,4",
+                "--store", str(store)]
+
+    def test_sweep_store_flag_caches_and_output_identical(
+        self, capsys, tmp_path
+    ):
+        store = tmp_path / "store"
+        assert main(self._sweep(store)) == 0
+        first_out = capsys.readouterr().out
+        assert main(self._sweep(store)) == 0
+        assert capsys.readouterr().out == first_out
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "cells:     2" in stats_out
+        assert "2 hits" in stats_out
+
+    def test_no_cache_ignores_store_env(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env"))
+        assert main(["sweep", "gcd", "--k-values", "1",
+                     "--no-cache"]) == 0
+        capsys.readouterr()
+        # --no-cache means the env store is never even created.
+        assert not (tmp_path / "env").exists()
+
+    def test_stats_refuses_nonexistent_store(self, capsys, tmp_path):
+        assert main(["store", "stats", "--store",
+                     str(tmp_path / "typo")]) == 2
+        assert "no experiment store" in capsys.readouterr().err
+        assert not (tmp_path / "typo").exists()
+
+    def test_store_env_opt_in(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env"))
+        assert main(["sweep", "gcd", "--k-values", "1"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store",
+                     str(tmp_path / "env")]) == 0
+        assert "cells:     1" in capsys.readouterr().out
+
+    def test_exp_store_flag(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(TestExp.SPEC))
+        store = tmp_path / "store"
+        args = ["exp", "--spec", str(path), "--store", str(store)]
+        assert main(args) == 0
+        assert "cache 0 hit(s) / 4 miss(es)" in \
+            capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache 4 hit(s) / 0 miss(es)" in \
+            capsys.readouterr().out
+
+    def test_store_gc_and_clear(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(self._sweep(store)) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", str(store)]) == 0
+        assert "removed 0 blob(s)" in capsys.readouterr().out
+        assert main(["store", "clear", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        assert "cells:     0" in capsys.readouterr().out
+
+    def test_store_smoke(self, capsys, tmp_path):
+        assert main(["store", "smoke", "--store",
+                     str(tmp_path / "smoke")]) == 0
+        out = capsys.readouterr().out
+        assert "store smoke OK" in out
+        assert "byte-identical: yes" in out

@@ -94,7 +94,7 @@ class TestCatalog:
         assert REGISTRIES["engines"].names(sort=False) == \
             ["machine", "trace"]
         assert set(REGISTRIES["executors"].names()) == \
-            {"parallel", "serial"}
+            {"caching", "parallel", "serial"}
 
     def test_externally_registered_strategy_is_simulated(self):
         # The advertised extension point: registering a decompression

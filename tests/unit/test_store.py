@@ -1,0 +1,343 @@
+"""Unit tests for the persistent experiment store (repro.store)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.sweep import run_one
+from repro.cfg import build_cfg
+from repro.core import SimulationConfig
+from repro.memory.image import ArtifactCache, compression_artifacts
+from repro.registry import catalog_signature
+from repro.store import (
+    ExperimentStore,
+    StoreError,
+    canonical_dumps,
+    cell_fingerprint,
+    code_version,
+    config_signature,
+    workload_digest,
+)
+from repro.store.records import (
+    is_cacheable,
+    record_to_run,
+    run_to_record,
+)
+from repro.workloads import get_workload
+
+_FAST = dict(trace_events=False, record_trace=False)
+
+
+def _config(**overrides):
+    fields = dict(codec="shared-dict", decompression="ondemand",
+                  k_compress=2, **_FAST)
+    fields.update(overrides)
+    return SimulationConfig(**fields)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        workload = get_workload("fib")
+        config = _config()
+        assert cell_fingerprint(workload, config) == \
+            cell_fingerprint(workload, config)
+
+    def test_equal_configs_agree(self):
+        workload = get_workload("fib")
+        assert cell_fingerprint(workload, _config()) == \
+            cell_fingerprint(workload, _config())
+
+    @pytest.mark.parametrize("change", [
+        dict(k_compress=4),
+        dict(codec="shared-huffman"),
+        dict(decompression="pre-all"),
+        dict(granularity="function"),
+        dict(memory_budget=4096),
+    ])
+    def test_config_fields_participate(self, change):
+        workload = get_workload("fib")
+        assert cell_fingerprint(workload, _config()) != \
+            cell_fingerprint(workload, _config(**change))
+
+    def test_engine_fast_and_max_blocks_participate(self):
+        workload = get_workload("fib")
+        config = _config()
+        base = cell_fingerprint(workload, config, engine="machine")
+        assert base != cell_fingerprint(workload, config,
+                                        engine="trace")
+        assert base != cell_fingerprint(workload, config, fast=False)
+        assert base != cell_fingerprint(workload, config,
+                                        max_blocks=100)
+
+    def test_workloads_differ(self):
+        config = _config()
+        assert cell_fingerprint(get_workload("fib"), config) != \
+            cell_fingerprint(get_workload("gcd"), config)
+
+    def test_salt_env_invalidates(self, monkeypatch):
+        workload = get_workload("fib")
+        config = _config()
+        before = cell_fingerprint(workload, config)
+        monkeypatch.setenv("REPRO_STORE_SALT", "bumped")
+        assert cell_fingerprint(workload, config) != before
+
+    def test_workload_digest_is_content_addressed(self):
+        digest = workload_digest(get_workload("fib"))
+        assert digest.startswith("fib:")
+        assert digest == workload_digest(get_workload("fib"))
+
+    def test_profile_hashes_by_content(self):
+        from repro.cfg.profile import EdgeProfile
+
+        profile = EdgeProfile()
+        profile.record_edge(0, 1)
+        base = _config(decompression="pre-single",
+                       predictor="static-profile", profile=profile)
+        sig = config_signature(base)
+        assert isinstance(sig["profile"], str)
+        profile2 = EdgeProfile()
+        profile2.record_edge(0, 2)
+        other = _config(decompression="pre-single",
+                        predictor="static-profile", profile=profile2)
+        assert config_signature(other)["profile"] != sig["profile"]
+
+    def test_code_version_is_cached_and_hexadecimal(self):
+        version = code_version()
+        assert version == code_version()
+        int(version, 16)
+
+    def test_catalog_signature_sorted(self):
+        import repro.api  # noqa: F401  (registers engines/executors)
+
+        catalog = catalog_signature()
+        assert list(catalog) == sorted(catalog)
+        assert "executors" in catalog
+        assert "caching" in catalog["executors"]
+
+    def test_canonical_dumps_is_compact_and_sorted(self):
+        text = canonical_dumps({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+
+class TestCAS:
+    def test_cell_roundtrip(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        record = {"schema": "x", "value": [1, 2, 3]}
+        store.put_cell("ab" * 32, record)
+        assert store.get_cell("ab" * 32) == record
+        assert store.has_cell("ab" * 32)
+        assert store.get_cell("cd" * 32) is None
+
+    def test_identical_records_share_one_blob(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("aa" * 32, {"v": 1})
+        store.put_cell("bb" * 32, {"v": 1})
+        assert store.stats()["cells"] == 2
+        assert store.stats()["blobs"] == 1
+
+    def test_corrupt_ref_and_blob_read_as_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        digest = store.put_cell("aa" * 32, {"v": 1})
+        ref = store._fan_path("cells", "aa" * 32)
+        with open(ref, "w") as handle:
+            handle.write("not-a-digest\n")
+        assert store.get_cell("aa" * 32) is None
+        # Restore the ref but corrupt the blob contents.
+        with open(ref, "w") as handle:
+            handle.write(digest + "\n")
+        with open(store._fan_path("objects", digest), "wb") as handle:
+            handle.write(b"garbage")
+        assert store.get_cell("aa" * 32) is None
+
+    def test_format_marker_checked(self, tmp_path):
+        root = tmp_path / "store"
+        ExperimentStore(root)
+        marker = root / "format.json"
+        marker.write_text('{"format": 999}')
+        with pytest.raises(StoreError, match="format"):
+            ExperimentStore(root)
+
+    def test_inspection_mode_requires_marker(self, tmp_path):
+        with pytest.raises(StoreError, match="no experiment store"):
+            ExperimentStore(tmp_path / "missing", create=False)
+        unmarked = tmp_path / "unmarked"
+        unmarked.mkdir()
+        with pytest.raises(StoreError, match="no experiment store"):
+            ExperimentStore(unmarked, create=False)
+        # A real store opens fine in inspection mode.
+        ExperimentStore(tmp_path / "real")
+        assert ExperimentStore(tmp_path / "real",
+                               create=False).stats()["cells"] == 0
+
+    def test_usage_counters_accumulate(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.add_usage(hits=2, misses=1, puts=1)
+        store.add_usage(hits=3)
+        stats = store.stats()
+        assert stats["hits"] == 5
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+
+    def test_gc_removes_orphans_only(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("aa" * 32, {"v": 1})
+        orphan = store.put_blob(b"orphan bytes")
+        report = store.gc()
+        assert report["removed_blobs"] == 1
+        assert store.get_blob(orphan) is None
+        assert store.get_cell("aa" * 32) == {"v": 1}
+
+    def test_gc_spares_fresh_tmp_files(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        fan = os.path.join(store.root, "objects", "ab")
+        os.makedirs(fan)
+        in_flight = os.path.join(fan, "abcd.tmp")
+        with open(in_flight, "wb") as handle:
+            handle.write(b"writer still at work")
+        assert store.gc()["removed_blobs"] == 0
+        assert os.path.exists(in_flight)  # a concurrent writer's file
+        # Stale temp files (older than the grace window) do go.
+        old = time.time() - store.GC_TMP_GRACE_SECONDS - 10
+        os.utime(in_flight, (old, old))
+        assert store.gc()["removed_blobs"] == 1
+        assert not os.path.exists(in_flight)
+
+    def test_clear_empties_but_keeps_marker(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("aa" * 32, {"v": 1})
+        store.clear()
+        assert store.stats()["cells"] == 0
+        assert store.stats()["blobs"] == 0
+        assert os.path.exists(store._marker_path())
+
+    def test_clear_refuses_unmarked_directory(self, tmp_path):
+        victim = tmp_path / "precious"
+        victim.mkdir()
+        (victim / "data.txt").write_text("do not delete")
+        store = ExperimentStore.__new__(ExperimentStore)
+        store.root = str(victim)
+        with pytest.raises(StoreError, match="refusing"):
+            store.clear()
+        assert (victim / "data.txt").read_text() == "do not delete"
+
+    def test_artifact_bundle_roundtrip(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        blocks = [b"\x01\x02\x03\x04" * 4, b"\xff" * 8]
+        payloads = [b"p0", b"p1"]
+        store.put_artifact_bundle("shared-dict", blocks, payloads)
+        assert store.get_artifact_bundle("shared-dict", blocks) == \
+            payloads
+        # Different codec or block bytes: a miss.
+        assert store.get_artifact_bundle("shared-huffman", blocks) \
+            is None
+        assert store.get_artifact_bundle(
+            "shared-dict", [b"\x00" * 4, b"\xff" * 8]
+        ) is None
+
+
+class TestRecords:
+    def test_roundtrip_preserves_metrics_exactly(self):
+        from repro.api.results import run_metrics
+
+        workload = get_workload("gcd")
+        run = run_one(workload, _config())
+        fingerprint = cell_fingerprint(workload, run.config)
+        record = run_to_record(run, fingerprint)
+        # The record must survive a JSON round-trip (what the CAS does).
+        record = json.loads(canonical_dumps(record))
+        rebuilt = record_to_run(record, run.config)
+        assert rebuilt.workload == run.workload
+        assert rebuilt.validation == run.validation
+        assert run_metrics(rebuilt) == run_metrics(run)
+        assert rebuilt.result.footprint.samples == \
+            run.result.footprint.samples
+        assert rebuilt.result.registers == run.result.registers
+
+    def test_malformed_record_raises_store_error(self):
+        with pytest.raises(StoreError):
+            record_to_run({"schema": "nope"}, _config())
+
+    def test_error_runs_are_not_cacheable(self):
+        from repro.analysis.sweep import _failed_run
+
+        run = _failed_run(get_workload("fib"), _config(),
+                          RuntimeError("boom"))
+        assert not is_cacheable(run)
+
+    def test_normal_runs_are_cacheable(self):
+        run = run_one(get_workload("fib"), _config())
+        assert is_cacheable(run)
+
+
+class TestArtifactCacheLRU:
+    def test_capacity_bounds_entries(self):
+        cache = ArtifactCache(capacity=2)
+        graphs = [build_cfg(get_workload(name).program)
+                  for name in ("fib", "gcd", "crc32")]
+        for graph in graphs:
+            cache.put(graph, "shared-dict", object())
+        assert len(cache) == 2
+        assert cache.get(graphs[0], "shared-dict") is None  # evicted
+        assert cache.get(graphs[2], "shared-dict") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = ArtifactCache(capacity=2)
+        graphs = [build_cfg(get_workload(name).program)
+                  for name in ("fib", "gcd", "crc32")]
+        cache.put(graphs[0], "shared-dict", "a0")
+        cache.put(graphs[1], "shared-dict", "a1")
+        cache.get(graphs[0], "shared-dict")  # 0 is now most recent
+        cache.put(graphs[2], "shared-dict", "a2")
+        assert cache.get(graphs[0], "shared-dict") == "a0"
+        assert cache.get(graphs[1], "shared-dict") is None
+
+    def test_clear_and_set_capacity(self):
+        cache = ArtifactCache(capacity=4)
+        graphs = [build_cfg(get_workload(name).program)
+                  for name in ("fib", "gcd", "crc32")]
+        for graph in graphs:
+            cache.put(graph, "shared-dict", object())
+        cache.set_capacity(1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            cache.set_capacity(0)
+
+    def test_dead_cfg_entry_is_dropped(self):
+        import gc
+
+        cache = ArtifactCache(capacity=4)
+        graph = build_cfg(get_workload("fib").program)
+        cache.put(graph, "shared-dict", object())
+        assert len(cache) == 1
+        del graph
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_compression_artifacts_still_memoizes(self):
+        graph = build_cfg(get_workload("fib").program)
+        first = compression_artifacts(graph, "shared-dict")
+        assert compression_artifacts(graph, "shared-dict") is first
+
+
+class TestSharedModelDigest:
+    def test_retrained_model_digest_matches(self):
+        from repro.compress import get_codec
+        from repro.compress.stats import block_bytes
+
+        graph = build_cfg(get_workload("gcd").program)
+        corpus = [block_bytes(block) for block in graph.blocks]
+        for name in ("shared-dict", "shared-huffman", "shared-fields"):
+            one, two = get_codec(name), get_codec(name)
+            one.train(corpus)
+            two.train(corpus)
+            assert one.model_digest() == two.model_digest(), name
+
+    def test_untrained_digest_rejected(self):
+        from repro.compress import CodecError, get_codec
+
+        with pytest.raises(CodecError, match="trained"):
+            get_codec("shared-dict").model_digest()

@@ -6,10 +6,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke experiments examples store-smoke verify
+.PHONY: test lint bench bench-smoke experiments examples store-smoke \
+	verify
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Conservative ruff gate (see ruff.toml).  Skips gracefully when ruff
+# is not installed locally; CI always installs and runs it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "lint skipped: ruff not installed" \
+			"(pip install ruff to run locally)"; \
+	fi
 
 bench:
 	$(PYTHON) -m repro.cli bench
@@ -38,6 +51,7 @@ examples:
 store-smoke:
 	$(PYTHON) -m repro store smoke
 
-verify: test bench-smoke examples store-smoke
-	@echo "verify OK: tier-1 tests green, fast-path output matches" \
-		"seed, examples run, store serves repeat sweeps from cache"
+verify: lint test bench-smoke examples store-smoke
+	@echo "verify OK: lint clean, tier-1 tests green, fast-path" \
+		"output matches seed, examples run, store serves repeat" \
+		"sweeps from cache"

@@ -155,6 +155,38 @@ def bench_codec_roundtrips(smoke: bool = False) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def bench_manager_loop(smoke: bool = False) -> Dict[str, object]:
+    """Manager-loop cost: one default-config interpreted simulation.
+
+    Times the orchestrator core (timing + residency subsystems plus the
+    interpreting machine) on a fixed workload, reporting blocks and
+    cycles simulated per wall-clock second — the number that makes a
+    manager-loop regression visible PR-over-PR in BENCH_core.json.
+    """
+    from ..core.manager import CodeCompressionManager
+
+    cfg = build_cfg(get_workload("composite").program)
+    config = SimulationConfig(
+        codec="shared-dict", decompression="ondemand", k_compress=4,
+        trace_events=False, record_trace=False,
+    )
+    # Warm the shared compression artifacts so the loop, not codec
+    # training, is what gets timed.
+    result = CodeCompressionManager(cfg, config).run()
+    repeats = 2 if smoke else 5
+    seconds = _time(
+        lambda: CodeCompressionManager(cfg, config).run(), repeats
+    )
+    blocks = result.counters.blocks_executed
+    return {
+        "workload": "composite",
+        "blocks_executed": blocks,
+        "total_cycles": result.total_cycles,
+        "seconds": seconds,
+        "blocks_per_s": blocks / seconds if seconds else float("inf"),
+    }
+
+
 def _sweep_configs() -> List[SimulationConfig]:
     return [
         SimulationConfig(codec="shared-dict", decompression="ondemand",
@@ -221,6 +253,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
     huffman = bench_huffman_roundtrip(smoke)
     codecs = bench_codec_roundtrips(smoke)
     e1 = bench_e1_sweep(smoke)
+    manager_loop = bench_manager_loop(smoke)
     ok = bool(huffman["payloads_byte_identical"]) and bool(
         e1["metrics_equal"]
     )
@@ -233,6 +266,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
         "huffman_roundtrip": huffman,
         "codec_roundtrips": codecs,
         "e1_sweep": e1,
+        "manager_loop": manager_loop,
         "ok": ok,
     }
 
@@ -272,5 +306,13 @@ def render_report(report: Dict[str, object]) -> str:
         f"{e1['trace_s'] * 1000:.0f} ms -> {e1['speedup']:.2f}x "
         f"(metrics equal: {e1['metrics_equal']})"
     )
+    loop = report.get("manager_loop")
+    if loop:
+        lines.append(
+            f"manager loop ({loop['workload']}; "
+            f"{loop['blocks_executed']} blocks): "
+            f"{loop['seconds'] * 1000:.1f} ms "
+            f"({loop['blocks_per_s']:,.0f} blocks/s)"
+        )
     lines.append(f"ok: {report['ok']}")
     return "\n".join(lines)

@@ -276,7 +276,8 @@ def _trace_sweep_workload(
         return runs
     validation = workload.validate(manager.machine)
     trace = result.block_trace
-    complete = trace and result.counters.blocks_executed == len(trace) \
+    complete = trace and not result.trace_truncated \
+        and result.counters.blocks_executed == len(trace) \
         and len(trace) < _TRACE_CAP
     prepared = PreparedTrace(graph, trace) if complete else None
     if not effective_first.record_trace:

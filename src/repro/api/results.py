@@ -254,6 +254,11 @@ class ResultSet:
         }
         cells = []
         for run in self.runs:
+            # Per-cell engine/registers stay off the serialised form on
+            # purpose: engines are required to be result-transparent,
+            # so a machine-run grid and a trace-run grid of the same
+            # spec must serialise identically (the engine used lives in
+            # meta, and on the live SimulationResult.engine tag).
             cell: Dict[str, Any] = {
                 "workload": run.workload,
                 "label": run.config.strategy_name,
@@ -345,7 +350,7 @@ class ResultSet:
         config_cols = [
             "codec", "decompression", "k_compress", "k_decompress",
             "predictor", "granularity", "memory_budget", "eviction",
-            "image_scheme",
+            "image_scheme", "hierarchy",
         ]
         metric_cols = sorted(run_metrics(self.runs[0])) if self.runs \
             else []

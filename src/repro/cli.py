@@ -18,9 +18,12 @@ Subcommands (all built on the :mod:`repro.api` facade):
   ``BENCH_core.json`` (codec round-trips vs. the seed implementation
   and the machine- vs. trace-engine E1 sweep).
 
-``sweep`` and ``compare`` accept ``--engine {machine,trace}`` (the
-trace-replay fast path) and ``--jobs N`` (process-parallel across
-workload partitions; with a single workload this changes nothing).
+``run``/``sweep``/``compare`` accept ``--hierarchy PRESET`` (the
+memory-hierarchy model: ``flat`` is the seed-equivalent default;
+``repro list`` enumerates the registered presets).  ``sweep`` and
+``compare`` accept ``--engine {machine,trace}`` (the trace-replay fast
+path) and ``--jobs N`` (process-parallel across workload partitions;
+with a single workload this changes nothing).
 ``sweep``/``compare``/``exp`` accept ``--store [DIR]`` (serve repeated
 cells from the persistent store; DIR defaults to ``$REPRO_STORE_DIR``
 or ``~/.cache/repro-store``) and ``--no-cache`` (force recomputation
@@ -40,10 +43,11 @@ import sys
 from typing import List, Optional
 
 from . import api
-from .analysis import Table, percent
+from .analysis import EnergyModel, Table, percent
 from .cfg import build_cfg, natural_loops
 from .compress import available_codecs, compare_codecs
 from .core import DECOMPRESSION_STRATEGIES, SimulationConfig
+from .memory import available_hierarchies
 from .strategies import available_predictors
 from .workloads import available_workloads, get_workload
 
@@ -89,6 +93,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--budget", type=int, default=None, metavar="BYTES",
         help="optional hard cap on the code footprint",
+    )
+    parser.add_argument(
+        "--hierarchy", default="flat",
+        choices=available_hierarchies(),
+        help="memory-hierarchy preset: per-level latency, burst "
+             "granularity and energy for the front/target memories "
+             "(default: flat, the seed-equivalent cost model)",
     )
 
 
@@ -157,6 +168,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         k_decompress=args.k_decompress,
         predictor=args.predictor,
         memory_budget=args.budget,
+        hierarchy=args.hierarchy,
         trace_events=False,
         record_trace=False,
     )
@@ -219,7 +231,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         SimulationConfig(
             codec=args.codec, decompression=args.strategy,
             k_compress=k, k_decompress=args.k_decompress,
-            predictor=args.predictor,
+            predictor=args.predictor, hierarchy=args.hierarchy,
             trace_events=False, record_trace=False,
         )
         for k in k_values
@@ -228,10 +240,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         [workload], configs, engine=args.engine, jobs=args.jobs,
         store=_store_from_args(args),
     )
+    energy = EnergyModel.for_hierarchy(args.hierarchy)
     table = Table(
         f"k-edge sweep for '{workload.name}' "
-        f"({args.strategy}, {args.codec})",
-        ["k", "avg_saving", "peak_saving", "overhead", "faults"],
+        f"({args.strategy}, {args.codec}, {args.hierarchy})",
+        ["k", "avg_saving", "peak_saving", "overhead", "faults",
+         "traffic_B", "energy_nJ"],
     )
     for k, run in zip(k_values, result.runs):
         r = run.result
@@ -239,6 +253,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "inf" if k is None else k,
             percent(r.average_saving), percent(r.peak_saving),
             percent(r.cycle_overhead), int(r.counters.faults),
+            int(r.counters.target_memory_bytes),
+            round(energy.total_energy(r), 1),
         )
     print(table.render())
     return _report_cell_failures(result)
@@ -248,8 +264,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     configs = [
         SimulationConfig(decompression="none", codec="null",
-                         label="uncompressed", trace_events=False,
-                         record_trace=False),
+                         label="uncompressed",
+                         hierarchy=args.hierarchy,
+                         trace_events=False, record_trace=False),
     ]
     for strategy in ("ondemand", "pre-all", "pre-single"):
         configs.append(
@@ -259,6 +276,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 else args.k_compress,
                 k_decompress=args.k_decompress,
                 predictor=args.predictor, label=strategy,
+                hierarchy=args.hierarchy,
                 trace_events=False, record_trace=False,
             )
         )

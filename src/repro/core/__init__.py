@@ -13,6 +13,8 @@ from .config import (
     SimulationConfig,
 )
 from .manager import CodeCompressionManager
+from .residency import ResidencySubsystem
+from .timing import TimingModel
 from ..runtime.metrics import SimulationResult
 
 
@@ -39,7 +41,9 @@ __all__ = [
     "EVICTION_POLICIES",
     "GRANULARITIES",
     "IMAGE_SCHEMES",
+    "ResidencySubsystem",
     "SimulationConfig",
     "SimulationResult",
+    "TimingModel",
     "simulate",
 ]

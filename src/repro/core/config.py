@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..cfg.profile import EdgeProfile
 from ..compress.codec import available_codecs
+from ..memory.hierarchy import HIERARCHIES
 from ..strategies.base import STRATEGIES
 from ..strategies.predictor import available_predictors
 
@@ -61,6 +62,11 @@ class SimulationConfig:
             "largest").
         image_scheme: "separate" (paper, Section 5) or "inplace" (E8
             comparison).
+        hierarchy: named memory-hierarchy preset (see
+            :mod:`repro.memory.hierarchy`); "flat" reproduces the seed
+            cost model exactly, "spm-front"/"two-level-dram" add real
+            target-memory geometry (burst rounding, bus latency,
+            per-level energy).
         fault_cycles: exception-handler entry/exit cost charged on every
             memory-protection fault (full faults and patch-only faults).
         patch_cycles: background cycles per branch patch performed by the
@@ -88,6 +94,7 @@ class SimulationConfig:
     memory_budget: Optional[int] = None
     eviction: str = "lru"
     image_scheme: str = "separate"
+    hierarchy: str = "flat"
     fault_cycles: int = 50
     patch_cycles: int = 4
     contention: float = 0.0
@@ -146,6 +153,11 @@ class SimulationConfig:
                 f"unknown image scheme '{self.image_scheme}'; "
                 f"available: {IMAGE_SCHEMES}"
             )
+        if self.hierarchy not in HIERARCHIES:
+            raise ConfigError(
+                f"unknown memory hierarchy '{self.hierarchy}'; "
+                f"available: {tuple(HIERARCHIES.names(sort=False))}"
+            )
         if self.fault_cycles < 0 or self.patch_cycles < 0:
             raise ConfigError("cycle costs must be non-negative")
         if not 0.0 <= self.contention <= 1.0:
@@ -179,4 +191,6 @@ class SimulationConfig:
             name += f"/{self.granularity}"
         if self.memory_budget is not None:
             name += f"/budget={self.memory_budget}"
+        if self.hierarchy != "flat":
+            name += f"/{self.hierarchy}"
         return name

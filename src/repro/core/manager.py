@@ -13,6 +13,17 @@ of the paper draws it:
   decompressed copies the k-edge policy expires and patching the branches
   recorded in the remember sets.
 
+The manager itself is a thin orchestrator over three composable
+subsystems:
+
+* :class:`~repro.core.timing.TimingModel` — the cycle clock, the two
+  background workers, and the single charging site for every stall;
+* :class:`~repro.core.residency.ResidencySubsystem` — the code image,
+  unit geometry, ready clock, remember sets, budget eviction, and the
+  footprint timeline;
+* the configured :class:`~repro.memory.hierarchy.MemoryHierarchy` —
+  per-level traffic and latency charged inside the residency layer.
+
 Faults follow Section 5's scheme exactly: fetching a block with no
 decompressed copy raises the memory-protection exception; the handler
 decompresses into the separate area and patches the branch that jumped
@@ -24,36 +35,29 @@ decompression) — that is Figure 5's steps (5)-(6).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, List, Optional, Set, Tuple
 
 from ..cfg.builder import ProgramCFG
 from ..cfg.profile import EdgeProfile
-from ..compress.codec import get_codec
-from ..memory.image import (
-    CodeImage,
-    InPlaceImage,
-    SeparateAreaImage,
-    compression_artifacts,
-)
-from ..memory.remember_set import BranchSite, RememberSets
 from ..runtime.events import EventKind, EventLog
 from ..runtime.machine import Machine
-from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
-from ..runtime.threads import BackgroundWorker
+from ..runtime.metrics import Counters, SimulationResult
 from ..strategies.base import (
     STRATEGIES,
     CompressionPolicy,
     DecompressionPolicy,
 )
-from ..strategies.budget import MemoryBudget
 from ..strategies.kedge import KEdgeCompression, NeverRecompress
 from ..strategies.ondemand import OnDemandDecompression
 from ..strategies.predecompress import PreDecompressAll, PreDecompressSingle
 from ..strategies.predictor import make_predictor
 from .config import SimulationConfig
+from .residency import ResidencySubsystem
+from .timing import TimingModel
 
 #: Cap on the stored block trace (the full trace of a long run can be
-#: millions of entries; metrics never need more than this).
+#: millions of entries; metrics never need more than this).  Runs that
+#: hit the cap are flagged via ``SimulationResult.trace_truncated``.
 _TRACE_CAP = 2_000_000
 
 
@@ -88,46 +92,13 @@ class CodeCompressionManager:
         )
         self.log = EventLog(enabled=self.config.trace_events)
         self.counters = Counters()
-        self.footprint = FootprintTimeline()
         self.profile = EdgeProfile()  # online access pattern, always kept
-        self.now = 0
-        self.execution_cycles = 0
 
-        self._uncompressed_mode = self.config.decompression == "none"
-
-        # ---- compression units -------------------------------------
-        if self.config.granularity == "function":
-            self._unit_of: Dict[int, int] = dict(cfg.function_of)
-            self._unit_blocks: Dict[int, Set[int]] = {
-                unit: set(blocks) for unit, blocks in cfg.functions.items()
-            }
-        else:
-            self._unit_of = {
-                block.block_id: block.block_id for block in cfg.blocks
-            }
-            self._unit_blocks = {
-                block.block_id: {block.block_id} for block in cfg.blocks
-            }
-
-        # Compression products (trained codec, payloads, plaintexts) are
-        # pure functions of (cfg, codec name) and shared across managers,
-        # so sweep grid cells never recompress identical block bytes.
-        if self._uncompressed_mode:
-            self.codec = get_codec(self.config.codec)
-            self.image: Optional[CodeImage] = None
-            self._artifacts = None
-        else:
-            artifacts = compression_artifacts(cfg, self.config.codec)
-            self._artifacts = artifacts
-            self.codec = artifacts.codec
-            if self.config.image_scheme == "inplace":
-                self.image = InPlaceImage(
-                    cfg, self.codec, artifacts=artifacts
-                )
-            else:
-                self.image = SeparateAreaImage(
-                    cfg, self.codec, artifacts=artifacts
-                )
+        # ---- the composable core -----------------------------------
+        self.timing = TimingModel(self.config, self.counters)
+        self.residency = ResidencySubsystem(
+            cfg, self.config, self.timing, self.counters, self.log
+        )
 
         # ---- policies ----------------------------------------------
         # Policy instances may be injected for ablations (E12); the
@@ -167,33 +138,74 @@ class CodeCompressionManager:
             )
         self.decompression.bind(self)
 
-        self.budget: Optional[MemoryBudget] = None
-        if self.config.memory_budget is not None:
-            self.budget = MemoryBudget(
-                self.config.memory_budget, self.config.eviction
-            )
-
-        # ---- background threads (Figure 4) -------------------------
-        self.decompress_worker = BackgroundWorker(
-            "decompression", contention=self.config.contention
+        # Residency notifies the compression policy when copies appear
+        # and disappear, without knowing the policy layer exists.
+        self.residency.on_unit_decompressed = (
+            self.compression.on_unit_decompressed
         )
-        self.compress_worker = BackgroundWorker(
-            "compression", contention=self.config.contention
+        self.residency.on_unit_released = (
+            self.compression.on_unit_released
         )
 
-        # ---- residency bookkeeping ---------------------------------
-        self.remember = RememberSets()
-        # Unit geometry is immutable; sizes/latencies memoize on first use.
-        self._unit_size_cache: Dict[int, int] = {}
-        self._unit_latency_cache: Dict[int, int] = {}
-        # A block's terminator branch site never changes either.
-        self._site_cache: Dict[int, BranchSite] = {}
-        self._ready_at: Dict[int, int] = {}  # unit -> completion cycle
-        self._used_since_decompress: Dict[int, bool] = {}
+        # ---- run-loop state ----------------------------------------
         self._pending_predictions: Deque[Tuple[int, int]] = deque()
         self._blocks_entered = 0
         self.block_trace: List[int] = []
+        self.trace_truncated = False
         self._current_block: Optional[int] = None
+
+    # ==================================================================
+    # Subsystem views (back-compat attribute surface)
+    # ==================================================================
+
+    @property
+    def now(self) -> int:
+        """The global cycle clock (owned by the timing model)."""
+        return self.timing.now
+
+    @property
+    def execution_cycles(self) -> int:
+        """Pure compute cycles (owned by the timing model)."""
+        return self.timing.execution_cycles
+
+    @property
+    def image(self):
+        """The code image (owned by the residency subsystem)."""
+        return self.residency.image
+
+    @property
+    def codec(self):
+        """The (possibly trained) codec instance."""
+        return self.residency.codec
+
+    @property
+    def budget(self):
+        """The optional memory budget (owned by residency)."""
+        return self.residency.budget
+
+    @property
+    def remember(self):
+        """The remember sets (owned by residency)."""
+        return self.residency.remember
+
+    @property
+    def footprint(self):
+        """The footprint timeline (owned by residency)."""
+        return self.residency.footprint
+
+    @property
+    def decompress_worker(self):
+        """The background decompression thread (owned by timing)."""
+        return self.timing.decompress_worker
+
+    @property
+    def compress_worker(self):
+        """The background compression thread (owned by timing)."""
+        return self.timing.compress_worker
+
+    @property
+    def _artifacts(self):
+        return self.residency.artifacts
 
     # ==================================================================
     # Artifact export
@@ -211,12 +223,13 @@ class CodeCompressionManager:
         this implicit for sweeps; the explicit hook serves one-off
         instrumented runs (:func:`repro.api.run_instrumented`).
         """
-        if self._artifacts is None:
+        artifacts = self.residency.artifacts
+        if artifacts is None:
             return None
         return store.put_artifact_bundle(
             self.config.codec,
-            self._artifacts.block_data,
-            self._artifacts.payloads,
+            artifacts.block_data,
+            artifacts.payloads,
         )
 
     # ==================================================================
@@ -225,153 +238,39 @@ class CodeCompressionManager:
 
     def unit_of(self, block_id: int) -> int:
         """Compression unit owning ``block_id``."""
-        return self._unit_of[block_id]
+        return self.residency.unit_of(block_id)
 
     def unit_blocks(self, unit_id: int) -> Set[int]:
         """Blocks belonging to ``unit_id``."""
-        return set(self._unit_blocks[unit_id])
+        return self.residency.unit_blocks(unit_id)
 
     def resident_units(self) -> Set[int]:
         """Units currently holding (or receiving) a decompressed copy."""
-        return set(self._ready_at)
+        return self.residency.resident_units()
 
     def is_unit_resident(self, unit_id: int) -> bool:
         """True when ``unit_id`` is decompressed or being decompressed."""
-        return unit_id in self._ready_at
-
-    # ==================================================================
-    # Unit geometry helpers
-    # ==================================================================
+        return self.residency.is_unit_resident(unit_id)
 
     def unit_uncompressed_size(self, unit_id: int) -> int:
         """Uncompressed bytes of all blocks in ``unit_id``."""
-        size = self._unit_size_cache.get(unit_id)
-        if size is None:
-            size = sum(
-                self.cfg.block(block_id).size_bytes
-                for block_id in self._unit_blocks[unit_id]
-            )
-            self._unit_size_cache[unit_id] = size
-        return size
+        return self.residency.unit_uncompressed_size(unit_id)
 
     def _unit_decompress_latency(self, unit_id: int) -> int:
-        latency = self._unit_latency_cache.get(unit_id)
-        if latency is None:
-            latency = self.codec.costs.decompress_latency(
-                self.unit_uncompressed_size(unit_id)
-            )
-            self._unit_latency_cache[unit_id] = latency
-        return latency
-
-    def _footprint_now(self) -> int:
-        if self.image is None:
-            return self.cfg.total_size_bytes()
-        return self.image.footprint_bytes
-
-    def _sample_footprint(self) -> None:
-        self.footprint.record(self.now, self._footprint_now())
+        return self.residency.unit_decompress_latency(unit_id)
 
     # ==================================================================
-    # Decompression / release mechanics
+    # Fault handling (the Section 5 exception handler)
     # ==================================================================
-
-    def _materialise_unit(self, unit_id: int) -> None:
-        """Allocate and mark every block of ``unit_id`` decompressed."""
-        assert self.image is not None
-        for block_id in sorted(self._unit_blocks[unit_id]):
-            self.image.decompress(block_id)
-            # Materialise the actual bytes (discarding them): an
-            # undecodable payload must fail on the executed path, not
-            # only under verify_block.  The shared memo bounds the cost
-            # to one decode per block per (cfg, codec) — repeated
-            # faults, and other sweep cells, never re-run the codec.
-            self.image.block_data(block_id)
-            # Section 2 traffic model: materialisation streams the
-            # compressed payload out of the target memory.
-            self.counters.target_memory_bytes += (
-                self.image.block(block_id).compressed_size
-            )
-        self.counters.decompressions += 1
-        self._used_since_decompress[unit_id] = False
-        self.compression.on_unit_decompressed(unit_id)
-        if self.budget is not None:
-            self.budget.on_unit_decompressed(unit_id)
-
-    def _enforce_budget(self, unit_id: int, protected: Set[int]) -> None:
-        """Evict units (LRU or configured policy) so ``unit_id`` fits."""
-        if self.budget is None or self.image is None:
-            return
-        victims = self.budget.select_victims(
-            needed_bytes=self.unit_uncompressed_size(unit_id),
-            current_footprint=self.image.footprint_bytes,
-            resident=self.resident_units(),
-            protected=protected | {unit_id},
-            size_of=self.unit_uncompressed_size,
-        )
-        for victim in victims:
-            self._release_unit(victim, EventKind.EVICT)
-            self.counters.evictions += 1
-
-    def _release_unit(self, unit_id: int, reason: EventKind) -> None:
-        """Delete ``unit_id``'s decompressed copy (Section 5: cheap —
-        drop the copy, patch the remembered branches)."""
-        assert self.image is not None
-        self._ready_at.pop(unit_id, None)
-        self.decompress_worker.cancel(unit_id, self.now)
-        patches = 0
-        for block_id in sorted(self._unit_blocks[unit_id]):
-            if self.image.is_resident(block_id):
-                self.image.release(block_id)
-            patches += len(self.remember.drop_target(block_id))
-            self.remember.drop_sites_in_block(block_id)
-        self.counters.patches += patches
-        self.counters.recompressions += 1
-        if not self._used_since_decompress.pop(unit_id, True):
-            self.counters.wasted_decompressions += 1
-        # Patching runs on the background compression thread.
-        self.compress_worker.schedule(
-            self.now,
-            unit_id,
-            self.config.patch_cycles * patches,
-        )
-        self.compress_worker.retire_completed(self.now)
-        self.compression.on_unit_released(unit_id)
-        if self.budget is not None:
-            self.budget.on_unit_released(unit_id)
-        self.log.emit(self.now, reason, unit_id, patches)
-        self._sample_footprint()
-
-    def _schedule_predecompression(self, block_id: int) -> None:
-        """Queue ``block_id``'s unit on the decompression thread.
-
-        Requests are shed when the thread's backlog is full — the block
-        simply stays compressed and, if actually reached, faults on demand.
-        """
-        unit_id = self.unit_of(block_id)
-        if self.is_unit_resident(unit_id):
-            return
-        if (
-            self.decompress_worker.backlog()
-            >= self.config.max_prefetch_backlog
-        ):
-            self.counters.dropped_prefetches += 1
-            return
-        self._enforce_budget(unit_id, protected=self._protected_units())
-        self._materialise_unit(unit_id)
-        job = self.decompress_worker.schedule(
-            self.now, unit_id, self._unit_decompress_latency(unit_id)
-        )
-        self._ready_at[unit_id] = job.completes_at
-        self.counters.background_decompress_cycles += job.latency
-        self.log.emit(self.now, EventKind.DECOMPRESS_START, unit_id)
-        self._sample_footprint()
 
     def _protected_units(self) -> Set[int]:
         if self._current_block is None:
             return set()
         return {self.unit_of(self._current_block)}
 
-    def _ensure_executable(self, block_id: int, came_from: Optional[int]) -> None:
+    def _ensure_executable(
+        self, block_id: int, came_from: Optional[int]
+    ) -> None:
         """Make ``block_id`` runnable, charging faults/stalls as needed.
 
         Implements the Section 5 exception handler plus the
@@ -383,71 +282,65 @@ class CodeCompressionManager:
         * resident and ready but the incoming branch still targets the
           compressed area -> patch fault (handler + patch only).
         """
-        if self.image is None:
+        residency = self.residency
+        timing = self.timing
+        if residency.image is None:
             return
-        unit_id = self.unit_of(block_id)
+        unit_id = residency.unit_of(block_id)
         # A branch site can only be patched if the block holding the branch
         # still has a decompressed copy; otherwise the transfer goes via
         # the compressed-area address and faults (re-patched next time).
         site = None
-        if came_from is not None and self.is_unit_resident(
-            self.unit_of(came_from)
+        if came_from is not None and residency.is_unit_resident(
+            residency.unit_of(came_from)
         ):
-            site = self._site_cache.get(came_from)
-            if site is None:
-                terminator_index = len(self.cfg.block(came_from)) - 1
-                site = BranchSite(came_from, terminator_index)
-                self._site_cache[came_from] = site
+            site = residency.site_for(came_from)
 
-        if not self.is_unit_resident(unit_id):
+        if not residency.is_unit_resident(unit_id):
             # Full memory-protection fault (Figure 5 steps 2, 4, 9).
             self.counters.faults += 1
-            self.log.emit(self.now, EventKind.FAULT, block_id)
-            self._enforce_budget(
+            self.log.emit(timing.now, EventKind.FAULT, block_id)
+            residency.enforce_budget(
                 unit_id,
                 protected=self._protected_units()
-                | ({self.unit_of(came_from)} if came_from is not None
-                   else set()),
+                | ({residency.unit_of(came_from)}
+                   if came_from is not None else set()),
             )
-            self._materialise_unit(unit_id)
-            self._sample_footprint()
-            latency = self._unit_decompress_latency(unit_id)
-            stall = self.config.fault_cycles + latency
-            self.now += stall
-            self.counters.stall_cycles += stall
-            self.counters.stalls += 1
-            self._ready_at[unit_id] = self.now
-            self.log.emit(self.now, EventKind.DECOMPRESS_DONE, unit_id,
+            residency.materialise_unit(unit_id)
+            residency.sample_footprint()
+            stall = (
+                self.config.fault_cycles
+                + residency.unit_fill_cycles(unit_id)
+            )
+            timing.stall(stall)
+            residency.mark_ready(unit_id, timing.now)
+            self.log.emit(timing.now, EventKind.DECOMPRESS_DONE, unit_id,
                           stall)
             if site is not None:
-                self.remember.add_reference(block_id, site)
+                residency.remember.add_reference(block_id, site)
                 self.counters.patches += 1
-                self.log.emit(self.now, EventKind.PATCH, block_id)
+                self.log.emit(timing.now, EventKind.PATCH, block_id)
             return
 
-        ready_at = self._ready_at.get(unit_id, 0)
-        if ready_at > self.now:
-            # Pre-decompression still in flight: wait out the remainder.
-            stall = ready_at - self.now
-            self.now = ready_at
-            self.counters.stall_cycles += stall
-            self.counters.stalls += 1
-            self.log.emit(self.now, EventKind.STALL, block_id, stall)
-        self.decompress_worker.retire_completed(self.now)
+        waited = timing.wait_until(residency.ready_at(unit_id))
+        if waited:
+            # Pre-decompression still in flight: we waited it out.
+            self.log.emit(timing.now, EventKind.STALL, block_id, waited)
+        timing.retire_decompressions()
 
         arrived_unpatched = came_from is not None and (
-            site is None or not self.remember.points_to(site, block_id)
+            site is None
+            or not residency.remember.points_to(site, block_id)
         )
         if arrived_unpatched:
             # Patch fault: the copy exists but the branch that got us here
             # still aims at the compressed area (Figure 5 steps 5-6).
             self.counters.faults += 1
-            self.now += self.config.fault_cycles
-            self.counters.stall_cycles += self.config.fault_cycles
+            timing.stall(self.config.fault_cycles, count_stall=False)
             if site is not None:
-                self.remember.add_reference(block_id, site)
+                residency.remember.add_reference(block_id, site)
                 self.counters.patches += 1
-            self.log.emit(self.now, EventKind.PATCH, block_id)
+            self.log.emit(timing.now, EventKind.PATCH, block_id)
 
     # ==================================================================
     # Main loop
@@ -460,14 +353,18 @@ class CodeCompressionManager:
         all cycle and memory metrics filled in.
         """
         entry = self.cfg.entry
-        self._sample_footprint()
+        residency = self.residency
+        timing = self.timing
+        residency.sample_footprint()
 
         # Pre-decompression may warm blocks before execution starts.
-        if self.image is not None and self.decompression.uses_thread:
+        if residency.image is not None and self.decompression.uses_thread:
             for block_id in self.decompression.on_program_start(
                 entry.block_id
             ):
-                self._schedule_predecompression(block_id)
+                residency.schedule_predecompression(
+                    block_id, protected=self._protected_units()
+                )
 
         self._ensure_executable(entry.block_id, came_from=None)
         current = entry
@@ -476,9 +373,8 @@ class CodeCompressionManager:
         while True:
             self._on_block_enter(current.block_id)
             outcome = self.machine.run_block(current)
-            self.now += outcome.cycles
-            self.execution_cycles += outcome.cycles
-            self.decompress_worker.retire_completed(self.now)
+            timing.advance_execution(outcome.cycles)
+            timing.retire_decompressions()
 
             if outcome.next_block_id is None:
                 break
@@ -492,17 +388,10 @@ class CodeCompressionManager:
 
         # Account contention: background busy cycles partially steal the
         # execution thread when configured.
-        contention = (
-            self.decompress_worker.contention_cycles()
-            + self.compress_worker.contention_cycles()
-        )
-        self.now += contention
-        self.counters.stall_cycles += contention
-        self.counters.background_compress_cycles = (
-            self.compress_worker.busy_cycles
-        )
-        self._sample_footprint()
+        timing.finalize()
+        residency.sample_footprint()
 
+        registers = self.machine.registers
         return SimulationResult(
             program=self.cfg.name,
             strategy=self.config.strategy_name,
@@ -513,18 +402,20 @@ class CodeCompressionManager:
                 if self.config.decompression in ("pre-all", "pre-single")
                 else None
             ),
-            total_cycles=self.now,
-            execution_cycles=self.execution_cycles,
+            total_cycles=timing.now,
+            execution_cycles=timing.execution_cycles,
             counters=self.counters,
-            footprint=self.footprint,
+            footprint=residency.footprint,
             uncompressed_size=self.cfg.total_size_bytes(),
             compressed_size=(
-                self.image.compressed_image_size
-                if self.image is not None
+                residency.image.compressed_image_size
+                if residency.image is not None
                 else self.cfg.total_size_bytes()
             ),
-            registers=list(self.machine.registers),
+            registers=list(registers) if registers is not None else None,
             block_trace=self.block_trace,
+            trace_truncated=self.trace_truncated,
+            engine=getattr(self.machine, "engine_name", "machine"),
         )
 
     # ------------------------------------------------------------------
@@ -532,23 +423,21 @@ class CodeCompressionManager:
     # ------------------------------------------------------------------
 
     def _on_block_enter(self, block_id: int) -> None:
-        unit_id = self.unit_of(block_id)
+        residency = self.residency
+        unit_id = residency.unit_of(block_id)
         self.counters.blocks_executed += 1
         self._blocks_entered += 1
-        if self.config.record_trace and len(self.block_trace) < _TRACE_CAP:
-            self.block_trace.append(block_id)
-        self.log.emit(self.now, EventKind.BLOCK_ENTER, block_id)
+        if self.config.record_trace:
+            if len(self.block_trace) < _TRACE_CAP:
+                self.block_trace.append(block_id)
+            else:
+                self.trace_truncated = True
+        self.log.emit(self.timing.now, EventKind.BLOCK_ENTER, block_id)
 
-        self._used_since_decompress[unit_id] = True
+        residency.mark_used(unit_id)
         self.compression.on_unit_enter(unit_id)
-        if self.budget is not None:
-            self.budget.on_unit_enter(unit_id)
-        if self.image is None:
-            # Uncompressed system: every entry streams the block's full
-            # bytes from the target memory (Section 2 traffic model).
-            self.counters.target_memory_bytes += (
-                self.cfg.block(block_id).size_bytes
-            )
+        if residency.image is None:
+            residency.charge_uncompressed_entry(block_id)
 
         # Prediction accuracy: did a pending pre-decompress-single guess
         # come true within its window?
@@ -570,23 +459,24 @@ class CodeCompressionManager:
                 self._pending_predictions.popleft()
 
     def _on_edge(self, src_block: int, dst_block: int) -> None:
+        residency = self.residency
         self._current_block = src_block
         self.profile.record_edge(src_block, dst_block)
         self.decompression.on_edge(src_block, dst_block)
 
-        if self.image is None:
+        if residency.image is None:
             return
 
-        src_unit = self.unit_of(src_block)
-        dst_unit = self.unit_of(dst_block)
+        src_unit = residency.unit_of(src_block)
+        dst_unit = residency.unit_of(dst_block)
 
         # Compression side: tick the k-edge counters, expire units.
         for expired in self.compression.on_edge(src_unit, dst_unit):
             assert expired != dst_unit, (
                 "compression policy tried to release the destination unit"
             )
-            if self.is_unit_resident(expired):
-                self._release_unit(expired, EventKind.RECOMPRESS)
+            if residency.is_unit_resident(expired):
+                residency.release_unit(expired, EventKind.RECOMPRESS)
 
         # Decompression side: let the policy request pre-decompressions.
         if self.decompression.uses_thread:
@@ -598,6 +488,8 @@ class CodeCompressionManager:
                     (choice,
                      self._blocks_entered + self.config.k_decompress + 1)
                 )
-                self.log.emit(self.now, EventKind.PREDICT, choice)
+                self.log.emit(self.timing.now, EventKind.PREDICT, choice)
             for block_id in targets:
-                self._schedule_predecompression(block_id)
+                residency.schedule_predecompression(
+                    block_id, protected=self._protected_units()
+                )

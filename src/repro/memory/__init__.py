@@ -6,6 +6,14 @@ from .fragmentation import (
     FragmentationTimeline,
     snapshot,
 )
+from .hierarchy import (
+    HIERARCHIES,
+    MemoryHierarchy,
+    MemoryLevel,
+    available_hierarchies,
+    get_hierarchy,
+    register_hierarchy,
+)
 from .image import (
     ArtifactCache,
     BlockImage,
@@ -36,9 +44,15 @@ __all__ = [
     "FragmentationTimeline",
     "FreeHole",
     "FreeListAllocator",
+    "HIERARCHIES",
     "ImageError",
     "InPlaceImage",
+    "MemoryHierarchy",
+    "MemoryLevel",
     "RememberSets",
     "SeparateAreaImage",
+    "available_hierarchies",
+    "get_hierarchy",
+    "register_hierarchy",
     "snapshot",
 ]

@@ -1,0 +1,207 @@
+"""Explicit memory-hierarchy model (paper Section 2's two-level picture).
+
+The paper's claims assume two levels of memory: a *front* memory that
+holds the currently decompressed copies (scratchpad/cache — hit on every
+re-entry of a resident block) and a *target* memory holding the
+compressed image, which is read only when a unit is (re)materialised.
+Historically that hierarchy existed in this repo only as scattered
+counters (``target_memory_bytes``) and hard-coded energy constants; this
+module makes it a first-class, configurable layer.
+
+A :class:`MemoryHierarchy` names two :class:`MemoryLevel` geometries plus
+a CPU energy constant.  Levels model:
+
+* **read granularity** — the bus/burst transaction size: a read of
+  ``n`` bytes moves ``ceil(n / granularity) * granularity`` bytes, so
+  wide-burst targets (DRAM) read more than the payload asks for;
+* **bus width and access latency** — cycles to move the (rounded)
+  bytes, charged on top of the codec's decompression latency when a
+  unit is filled from the target memory;
+* **energy** — nJ per byte moved and nJ per access, from which
+  :meth:`repro.analysis.energy.EnergyModel.for_hierarchy` derives the
+  run energy model.
+
+Presets live in the :data:`HIERARCHIES` registry (part of the unified
+component catalog, so ``repro list`` enumerates them and the store
+fingerprints them).  The default preset ``flat`` models an un-timed,
+exact-byte memory — it reproduces the seed cost model exactly, so
+default-config results are byte-identical to the pre-hierarchy code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..registry import Registry
+
+#: Memory-hierarchy presets, in the unified component catalog.
+HIERARCHIES = Registry("hierarchies", item="memory hierarchy")
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """Geometry and energy of one level of the memory system.
+
+    Attributes:
+        name: human-readable level name ("spm", "dram", ...).
+        access_cycles: fixed cycles charged per read transaction
+            (0 = un-timed, the seed model).
+        bytes_per_cycle: bus width; 0 leaves the transfer un-timed so
+            only ``access_cycles`` is charged.
+        read_granularity: bus/burst transaction size in bytes — reads
+            round up to a multiple of this (1 = exact bytes).
+        nj_per_byte: energy per byte moved over this level's bus.
+        nj_per_access: fixed energy per read transaction.
+    """
+
+    name: str
+    access_cycles: int = 0
+    bytes_per_cycle: int = 0
+    read_granularity: int = 1
+    nj_per_byte: float = 1.0
+    nj_per_access: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.access_cycles < 0:
+            raise ValueError(
+                f"access_cycles must be >= 0, got {self.access_cycles}"
+            )
+        if self.bytes_per_cycle < 0:
+            raise ValueError(
+                f"bytes_per_cycle must be >= 0, got {self.bytes_per_cycle}"
+            )
+        if self.read_granularity < 1:
+            raise ValueError(
+                f"read_granularity must be >= 1, got "
+                f"{self.read_granularity}"
+            )
+        if self.nj_per_byte < 0 or self.nj_per_access < 0:
+            raise ValueError("energy constants must be non-negative")
+
+    def bytes_moved(self, nbytes: int) -> int:
+        """Bytes actually moved for an ``nbytes`` read (burst-rounded)."""
+        if nbytes <= 0:
+            return 0
+        gran = self.read_granularity
+        return -(-nbytes // gran) * gran
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles to read ``nbytes`` from this level (0 when un-timed)."""
+        if nbytes <= 0:
+            return 0
+        cycles = self.access_cycles
+        if self.bytes_per_cycle > 0:
+            moved = self.bytes_moved(nbytes)
+            cycles += -(-moved // self.bytes_per_cycle)
+        return cycles
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """A named two-level memory geometry.
+
+    ``front`` holds decompressed copies (hit on every entry of a
+    resident block); ``target`` holds the compressed image and is read
+    only on (re)materialisation — exactly the paper's Section 2 model.
+    ``cpu_nj_per_cycle`` is the decompressor's energy per busy cycle.
+    """
+
+    name: str
+    front: MemoryLevel
+    target: MemoryLevel
+    cpu_nj_per_cycle: float = 0.1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_nj_per_cycle < 0:
+            raise ValueError("cpu_nj_per_cycle must be non-negative")
+
+    # -- target-memory reads (materialisation traffic) ----------------
+
+    def target_read_bytes(self, nbytes: int) -> int:
+        """Target-memory bytes moved for an ``nbytes`` payload read."""
+        return self.target.bytes_moved(nbytes)
+
+    def target_read_cycles(self, nbytes: int) -> int:
+        """Extra cycles a target-memory read of ``nbytes`` costs."""
+        return self.target.transfer_cycles(nbytes)
+
+
+def register_hierarchy(hierarchy: MemoryHierarchy) -> MemoryHierarchy:
+    """Register a preset under its own name; returns it for chaining."""
+    HIERARCHIES.add(hierarchy.name, hierarchy)
+    return hierarchy
+
+
+def get_hierarchy(
+    hierarchy: Union[str, MemoryHierarchy]
+) -> MemoryHierarchy:
+    """Resolve a preset name (or pass a hierarchy through)."""
+    if isinstance(hierarchy, MemoryHierarchy):
+        return hierarchy
+    value = HIERARCHIES.get(hierarchy)
+    if not isinstance(value, MemoryHierarchy):
+        raise TypeError(
+            f"registered hierarchy '{hierarchy}' is not a "
+            f"MemoryHierarchy: {value!r}"
+        )
+    return value
+
+
+def available_hierarchies() -> "list[str]":
+    """Registered preset names (registration order)."""
+    return HIERARCHIES.names(sort=False)
+
+
+#: The seed cost model: a single un-timed memory with exact-byte reads.
+#: Reproduces pre-hierarchy numbers exactly (zero extra cycles, 1 nJ/B
+#: bus energy, 0.1 nJ/cycle decompressor energy).
+FLAT = register_hierarchy(
+    MemoryHierarchy(
+        name="flat",
+        front=MemoryLevel("front", nj_per_byte=0.0),
+        target=MemoryLevel("target", nj_per_byte=1.0),
+        cpu_nj_per_cycle=0.1,
+        description="un-timed single memory (seed-equivalent cost model)",
+    )
+)
+
+#: Scratchpad front over NOR-flash-like target: slow narrow bus, word
+#: transactions, expensive per-byte reads — the embedded-SoC shape the
+#: paper targets.
+SPM_FRONT = register_hierarchy(
+    MemoryHierarchy(
+        name="spm-front",
+        front=MemoryLevel("spm", access_cycles=1, nj_per_byte=0.2),
+        target=MemoryLevel(
+            "flash",
+            access_cycles=8,
+            bytes_per_cycle=4,
+            read_granularity=4,
+            nj_per_byte=2.0,
+            nj_per_access=4.0,
+        ),
+        cpu_nj_per_cycle=0.1,
+        description="SRAM scratchpad front, word-wide flash target",
+    )
+)
+
+#: Cache-like front over burst-oriented DRAM: long access latency, wide
+#: bus, 32-byte bursts that over-fetch small compressed payloads.
+TWO_LEVEL_DRAM = register_hierarchy(
+    MemoryHierarchy(
+        name="two-level-dram",
+        front=MemoryLevel("cache", access_cycles=1, nj_per_byte=0.3),
+        target=MemoryLevel(
+            "dram",
+            access_cycles=40,
+            bytes_per_cycle=8,
+            read_granularity=32,
+            nj_per_byte=1.5,
+            nj_per_access=8.0,
+        ),
+        cpu_nj_per_cycle=0.1,
+        description="cache front, burst-oriented DRAM target",
+    )
+)

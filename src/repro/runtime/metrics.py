@@ -103,8 +103,13 @@ class Counters:
     dropped_prefetches: int = 0  # shed when the thread backlog was full
     #: Bytes read from the target code memory (Section 2's traffic claim):
     #: block bytes per entry when uncompressed, compressed payload bytes
-    #: per materialisation when compressed.
+    #: per materialisation when compressed.  Bytes are rounded to the
+    #: hierarchy target level's burst granularity.
     target_memory_bytes: int = 0
+    #: Read transactions against the target memory — one per block read
+    #: (materialisation in compressed mode, every entry in uncompressed
+    #: mode).  Drives the hierarchy's per-access latency and energy.
+    target_memory_accesses: int = 0
 
     @property
     def prediction_accuracy(self) -> float:
@@ -145,6 +150,15 @@ class SimulationResult:
     pure compute.  Overhead versus an uncompressed baseline is
     ``total_cycles / execution_cycles - 1`` because the baseline executes
     the same instruction stream with no stalls.
+
+    ``engine`` names the machine that produced the run ("machine" for
+    the interpreting engine, "trace" for a trace replay).  Trace replays
+    do not model register state, so their ``registers`` is ``None`` —
+    consumers must never compare registers across engines.
+    ``trace_truncated`` is True when ``block_trace`` hit the recording
+    cap and is therefore incomplete; truncated traces must not be
+    replayed (:class:`~repro.runtime.trace_sim.PreparedTrace` refuses
+    them).
     """
 
     program: str
@@ -158,8 +172,10 @@ class SimulationResult:
     footprint: FootprintTimeline
     uncompressed_size: int
     compressed_size: int
-    registers: List[int] = field(default_factory=list)
+    registers: Optional[List[int]] = field(default_factory=list)
     block_trace: List[int] = field(default_factory=list)
+    trace_truncated: bool = False
+    engine: str = "machine"
 
     # ----------------------------------------------------------------
     # The paper's headline metrics

@@ -37,7 +37,19 @@ class PreparedTrace:
     sharing them across :class:`TraceMachine` instances is safe.
     """
 
-    def __init__(self, cfg: ProgramCFG, trace: Sequence[int]) -> None:
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        trace: Sequence[int],
+        truncated: bool = False,
+    ) -> None:
+        if truncated:
+            raise ValueError(
+                "refusing to prepare a truncated trace: the recording "
+                "hit the block-trace cap, so replaying it would "
+                "silently simulate a shorter run; re-record with a "
+                "higher cap or use the interpreting engine"
+            )
         if not trace:
             raise ValueError("trace must contain at least one block")
         if trace[0] != cfg.entry_id:
@@ -66,17 +78,36 @@ class PreparedTrace:
                 )
             )
 
+    @classmethod
+    def from_result(cls, cfg: ProgramCFG, result) -> "PreparedTrace":
+        """Prepare the trace a :class:`SimulationResult` recorded.
+
+        Refuses (with a clear error) results whose trace was truncated
+        by the recording cap — a truncated trace would replay a shorter
+        run than the one that produced the metrics.
+        """
+        return cls(
+            cfg,
+            result.block_trace,
+            truncated=getattr(result, "trace_truncated", False),
+        )
+
 
 class TraceMachine:
     """Drop-in replacement for :class:`~repro.runtime.machine.Machine`
     that replays a prerecorded block trace.
 
-    Register/memory state is not modelled (``registers`` stays zeroed);
-    cycle costs come from each block's static instruction costs, which is
+    Register/memory state is not modelled: ``registers`` is ``None``, so
+    a replayed run's :class:`SimulationResult.registers` is explicitly
+    absent instead of presenting zeroed garbage as real machine state.
+    Cycle costs come from each block's static instruction costs, which is
     exactly what the interpreting machine charges.  Accepts either a raw
     block-id sequence or a :class:`PreparedTrace` (which skips the
     per-instance validation).
     """
+
+    #: Engine tag carried into :class:`SimulationResult.engine`.
+    engine_name = "trace"
 
     def __init__(
         self,
@@ -91,7 +122,7 @@ class TraceMachine:
         self.trace = trace.trace
         self._outcomes = trace.outcomes
         self.position = 0
-        self.registers: List[int] = [0] * 16
+        self.registers: Optional[List[int]] = None
         self.halted = False
         self.steps = 0
 
@@ -124,7 +155,8 @@ def simulate_trace(
     """Run the compression machinery over a recorded block trace.
 
     Returns the same :class:`~repro.runtime.metrics.SimulationResult` a
-    full simulation would, except ``registers`` are not modelled.
+    full simulation would, except ``registers`` is ``None`` (replay does
+    not model register state) and ``engine`` is tagged ``"trace"``.
     ``compression_policy``/``decompression_policy`` are optional policy
     instances forwarded to the manager (for ablations such as E12 that
     inject non-config policies into a trace replay).  Pass a

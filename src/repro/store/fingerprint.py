@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional
 
 from ..cfg.profile import EdgeProfile
 from ..core.config import SimulationConfig
+from ..memory.hierarchy import get_hierarchy
 from ..registry import catalog_signature
 from ..workloads.suite import Workload
 
@@ -129,12 +130,21 @@ def _profile_digest(profile: Optional[EdgeProfile]) -> Optional[str]:
 
 
 def config_signature(config: SimulationConfig) -> Dict[str, Any]:
-    """JSON-safe form of every config field, profiles hashed by content."""
+    """JSON-safe form of every config field, profiles hashed by content.
+
+    The ``hierarchy`` field is expanded to the *resolved* preset's full
+    geometry, not just its name: a user-registered custom hierarchy
+    lives outside the repo sources (so ``code_version`` cannot see it),
+    and re-registering different numbers under the same name must not
+    serve stale cached results.
+    """
     out: Dict[str, Any] = {}
     for f in dataclasses.fields(SimulationConfig):
         value = getattr(config, f.name)
         if f.name == "profile":
             value = _profile_digest(value)
+        elif f.name == "hierarchy":
+            value = dataclasses.asdict(get_hierarchy(value))
         out[f.name] = value
     return out
 

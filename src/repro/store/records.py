@@ -28,8 +28,10 @@ from ..runtime.metrics import (
 )
 from .cas import StoreError
 
-#: Bumped on any change to the record shape.
-RECORD_VERSION = 1
+#: Bumped on any change to the record shape.  v2: ``registers`` may be
+#: null (trace replays do not model register state), plus the ``engine``
+#: tag and the ``trace_truncated`` flag.
+RECORD_VERSION = 2
 
 #: Schema identifier embedded in every stored cell record.
 RECORD_SCHEMA = "repro.store.cell"
@@ -73,8 +75,13 @@ def run_to_record(run: SweepRun, fingerprint: str) -> Dict[str, Any]:
             ],
             "uncompressed_size": result.uncompressed_size,
             "compressed_size": result.compressed_size,
-            "registers": list(result.registers),
+            "registers": (
+                None if result.registers is None
+                else list(result.registers)
+            ),
             "block_trace": list(result.block_trace),
+            "trace_truncated": result.trace_truncated,
+            "engine": result.engine,
         },
     }
 
@@ -107,8 +114,13 @@ def record_to_run(
             ),
             uncompressed_size=int(data["uncompressed_size"]),
             compressed_size=int(data["compressed_size"]),
-            registers=[int(r) for r in data["registers"]],
+            registers=(
+                None if data["registers"] is None
+                else [int(r) for r in data["registers"]]
+            ),
             block_trace=[int(b) for b in data["block_trace"]],
+            trace_truncated=bool(data["trace_truncated"]),
+            engine=str(data["engine"]),
         )
         return SweepRun(
             workload=record["workload"],

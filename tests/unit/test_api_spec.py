@@ -87,6 +87,21 @@ class TestExperimentSpec:
         ]
         assert [c.index for c in cells] == [0, 1, 2, 3]
 
+    def test_hierarchy_is_a_sweepable_axis(self):
+        spec = ExperimentSpec(
+            workloads=["fib"],
+            axes=grid(hierarchy=["flat", "spm-front"]),
+        )
+        configs = spec.configs()
+        assert [c.hierarchy for c in configs] == ["flat", "spm-front"]
+
+    def test_unknown_hierarchy_rejected_at_spec_time(self):
+        with pytest.raises(SpecError, match="hierarchy"):
+            ExperimentSpec(
+                workloads=["fib"],
+                base={"hierarchy": "warp"},
+            )
+
     def test_base_merged_under_overrides(self):
         spec = ExperimentSpec(
             workloads=["fib"],

@@ -18,10 +18,20 @@ class TestList:
         main(["list"])
         out = capsys.readouterr().out
         for kind in ("codecs", "strategies", "predictors",
-                     "engines", "executors"):
+                     "engines", "executors", "hierarchies"):
             assert f"{kind}:" in out, kind
         assert "machine, trace" in out
         assert "parallel, serial" in out
+
+    def test_lists_at_least_three_hierarchy_presets(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if l.startswith("hierarchies:")
+        )
+        presets = [p.strip() for p in line.split(":", 1)[1].split(",")]
+        assert len(presets) >= 3
+        assert {"flat", "spm-front", "two-level-dram"} <= set(presets)
 
 
 class TestInspect:
@@ -84,6 +94,30 @@ class TestSweep:
     def test_sweep_accepts_none_for_infinity(self, capsys):
         assert main(["sweep", "fib", "--k-values", "1,none"]) == 0
         assert "inf" in capsys.readouterr().out
+
+    def test_sweep_hierarchy_changes_traffic_and_energy(self, capsys):
+        def table_numbers(hierarchy):
+            assert main([
+                "sweep", "dijkstra", "--k-values", "1,4",
+                "--hierarchy", hierarchy,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert hierarchy in out
+            rows = [
+                line.split() for line in out.splitlines()
+                if line and line[0].isdigit()
+            ]
+            # (traffic_B, energy_nJ) are the last two columns.
+            return [(row[-2], row[-1]) for row in rows]
+
+        flat = table_numbers("flat")
+        spm = table_numbers("spm-front")
+        assert len(flat) == len(spm) == 2
+        assert flat != spm
+
+    def test_sweep_rejects_unknown_hierarchy(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fib", "--hierarchy", "warp"])
 
     def test_sweep_rejects_zero_k(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,160 @@
+"""Unit tests for the explicit memory-hierarchy model."""
+
+import pytest
+
+from repro.analysis import EnergyModel
+from repro.core import ConfigError, SimulationConfig, simulate
+from repro.memory.hierarchy import (
+    HIERARCHIES,
+    MemoryHierarchy,
+    MemoryLevel,
+    available_hierarchies,
+    get_hierarchy,
+    register_hierarchy,
+)
+from repro.workloads import get_workload
+
+_FAST = dict(trace_events=False, record_trace=False)
+
+
+class TestMemoryLevel:
+    def test_exact_byte_level_moves_exact_bytes(self):
+        level = MemoryLevel("target")
+        assert level.bytes_moved(13) == 13
+        assert level.transfer_cycles(13) == 0
+
+    def test_burst_rounding(self):
+        level = MemoryLevel("dram", read_granularity=32)
+        assert level.bytes_moved(1) == 32
+        assert level.bytes_moved(32) == 32
+        assert level.bytes_moved(33) == 64
+        assert level.bytes_moved(0) == 0
+
+    def test_transfer_cycles_combine_access_and_bus(self):
+        level = MemoryLevel(
+            "flash", access_cycles=8, bytes_per_cycle=4,
+            read_granularity=4,
+        )
+        # 10 bytes -> 12 moved -> 8 + ceil(12/4) = 11 cycles
+        assert level.transfer_cycles(10) == 11
+        assert level.transfer_cycles(0) == 0
+
+    def test_untimed_bus_charges_access_only(self):
+        level = MemoryLevel("rom", access_cycles=5, bytes_per_cycle=0)
+        assert level.transfer_cycles(1000) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLevel("bad", access_cycles=-1)
+        with pytest.raises(ValueError):
+            MemoryLevel("bad", read_granularity=0)
+        with pytest.raises(ValueError):
+            MemoryLevel("bad", nj_per_byte=-0.1)
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        names = available_hierarchies()
+        assert {"flat", "spm-front", "two-level-dram"} <= set(names)
+        assert len(names) >= 3
+
+    def test_get_hierarchy_by_name_and_passthrough(self):
+        flat = get_hierarchy("flat")
+        assert isinstance(flat, MemoryHierarchy)
+        assert get_hierarchy(flat) is flat
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown memory hierarchy"):
+            get_hierarchy("warp-drive")
+
+    def test_custom_registration(self):
+        custom = MemoryHierarchy(
+            name="test-custom",
+            front=MemoryLevel("f"),
+            target=MemoryLevel("t", read_granularity=2),
+        )
+        register_hierarchy(custom)
+        try:
+            assert get_hierarchy("test-custom") is custom
+            config = SimulationConfig(hierarchy="test-custom", **_FAST)
+            assert config.hierarchy == "test-custom"
+        finally:
+            HIERARCHIES.remove("test-custom")
+
+    def test_in_unified_catalog(self):
+        from repro.registry import all_registries
+
+        assert "hierarchies" in all_registries()
+
+
+class TestConfigIntegration:
+    def test_default_is_flat(self):
+        assert SimulationConfig().hierarchy == "flat"
+
+    def test_unknown_hierarchy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown memory hierarchy"):
+            SimulationConfig(hierarchy="nope")
+
+    def test_strategy_name_tags_non_flat(self):
+        flat = SimulationConfig(**_FAST)
+        spm = SimulationConfig(hierarchy="spm-front", **_FAST)
+        assert "spm-front" not in flat.strategy_name
+        assert spm.strategy_name.endswith("/spm-front")
+
+
+class TestSimulationEffects:
+    @pytest.fixture(scope="class")
+    def results(self):
+        workload = get_workload("dijkstra")
+        out = {}
+        for name in ("flat", "spm-front", "two-level-dram"):
+            out[name] = simulate(
+                workload.program,
+                SimulationConfig(
+                    decompression="ondemand", k_compress=4,
+                    hierarchy=name, **_FAST,
+                ),
+            )
+        return out
+
+    def test_burst_rounding_inflates_target_traffic(self, results):
+        flat = results["flat"].counters.target_memory_bytes
+        spm = results["spm-front"].counters.target_memory_bytes
+        dram = results["two-level-dram"].counters.target_memory_bytes
+        assert flat < spm < dram
+
+    def test_slow_target_adds_stall_cycles(self, results):
+        assert results["flat"].counters.stall_cycles < \
+            results["spm-front"].counters.stall_cycles
+        assert results["flat"].total_cycles < \
+            results["spm-front"].total_cycles
+
+    def test_execution_cycles_unchanged_by_hierarchy(self, results):
+        cycles = {r.execution_cycles for r in results.values()}
+        assert len(cycles) == 1
+
+    def test_energy_differs_per_preset(self, results):
+        energies = {
+            name: EnergyModel.for_hierarchy(name).total_energy(result)
+            for name, result in results.items()
+        }
+        assert len(set(energies.values())) == 3
+
+    def test_flat_energy_matches_default_model(self, results):
+        flat = results["flat"]
+        assert EnergyModel.for_hierarchy("flat").total_energy(flat) == \
+            EnergyModel().total_energy(flat)
+
+
+class TestEnergyDerivation:
+    def test_flat_model_equals_seed_constants(self):
+        model = EnergyModel.for_hierarchy("flat")
+        assert model.bus_nj_per_byte == 1.0
+        assert model.cpu_nj_per_cycle == 0.1
+        assert model.access_nj == 0.0
+
+    def test_non_flat_model_uses_target_level(self):
+        spm = get_hierarchy("spm-front")
+        model = EnergyModel.for_hierarchy(spm)
+        assert model.bus_nj_per_byte == spm.target.nj_per_byte
+        assert model.access_nj == spm.target.nj_per_access

@@ -100,3 +100,100 @@ class TestEquivalence:
             )
             footprints.append(result.average_footprint)
         assert footprints == sorted(footprints)
+
+
+class TestEngineTagging:
+    def test_trace_runs_report_no_registers(self, traced_workload):
+        cfg, trace = traced_workload
+        result = simulate_trace(
+            cfg, trace,
+            SimulationConfig(decompression="ondemand", k_compress=2,
+                             **_FAST),
+        )
+        assert result.engine == "trace"
+        assert result.registers is None
+
+    def test_machine_runs_report_registers(self, traced_workload):
+        cfg, _ = traced_workload
+        result = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="ondemand", k_compress=2,
+                             **_FAST),
+        ).run()
+        assert result.engine == "machine"
+        assert isinstance(result.registers, list)
+        assert result.registers
+
+
+class TestTraceTruncation:
+    @pytest.fixture
+    def tiny_cap(self, monkeypatch):
+        import repro.core.manager as manager_mod
+
+        monkeypatch.setattr(manager_mod, "_TRACE_CAP", 8)
+
+    def _truncated_result(self, tiny_cap_cfg):
+        return CodeCompressionManager(
+            tiny_cap_cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=True),
+        ).run()
+
+    def test_truncation_is_flagged(self, tiny_cap, loop_cfg):
+        result = self._truncated_result(loop_cfg)
+        assert result.trace_truncated
+        assert len(result.block_trace) == 8
+        assert result.counters.blocks_executed > 8
+
+    def test_untruncated_runs_are_not_flagged(self, traced_workload):
+        cfg, trace = traced_workload
+        result = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=True),
+        ).run()
+        assert not result.trace_truncated
+        assert len(result.block_trace) == \
+            result.counters.blocks_executed
+
+    def test_prepared_trace_refuses_truncated_result(self, tiny_cap,
+                                                     loop_cfg):
+        from repro.runtime import PreparedTrace
+
+        result = self._truncated_result(loop_cfg)
+        with pytest.raises(ValueError, match="truncated"):
+            PreparedTrace.from_result(loop_cfg, result)
+
+    def test_prepared_trace_accepts_complete_result(self,
+                                                    traced_workload):
+        from repro.runtime import PreparedTrace
+
+        cfg, _ = traced_workload
+        result = CodeCompressionManager(
+            cfg,
+            SimulationConfig(decompression="none", trace_events=False,
+                             record_trace=True),
+        ).run()
+        prepared = PreparedTrace.from_result(cfg, result)
+        assert prepared.trace == result.block_trace
+
+    def test_trace_engine_falls_back_on_truncated_recording(
+        self, tiny_cap
+    ):
+        from repro.analysis.sweep import sweep
+
+        workload = get_workload("fib")
+        configs = [
+            SimulationConfig(decompression="ondemand", k_compress=k,
+                             **_FAST)
+            for k in (1, 4)
+        ]
+        machine = sweep([workload], configs, engine="machine")
+        trace = sweep([workload], configs, engine="trace")
+        # The recording hit the cap, so every cell must have been
+        # interpreted — metrics identical, registers present.
+        for m_run, t_run in zip(machine.runs, trace.runs):
+            assert t_run.result.total_cycles == \
+                m_run.result.total_cycles
+            assert t_run.result.counters == m_run.result.counters
+            assert t_run.result.engine == "machine"

@@ -7,7 +7,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke experiments examples store-smoke \
-	verify
+	docs verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,14 @@ examples:
 		> /dev/null
 	@echo "examples OK"
 
+# Docs gate: the generated CLI reference must match the live argparse
+# tree, and every fenced python/json snippet in docs/cookbook.md must
+# execute against the real API.  Regenerate the CLI page with
+# `python -m repro.cli docs` after changing flags/subcommands.
+docs:
+	$(PYTHON) -m repro.cli docs --check
+	$(PYTHON) -m pytest tests/docs -q
+
 # Run a tiny sweep twice against a throwaway store and assert the
 # second run is served >= 90% from cache with a byte-identical result
 # set (fingerprints, CAS round-trip, and cache-hit-equals-recompute,
@@ -51,7 +59,7 @@ examples:
 store-smoke:
 	$(PYTHON) -m repro store smoke
 
-verify: lint test bench-smoke examples store-smoke
+verify: lint test bench-smoke examples docs store-smoke
 	@echo "verify OK: lint clean, tier-1 tests green, fast-path" \
-		"output matches seed, examples run, store serves repeat" \
-		"sweeps from cache"
+		"output matches seed, examples run, docs in sync, store" \
+		"serves repeat sweeps from cache"

@@ -37,12 +37,15 @@ Package map:
 * :mod:`repro.api` — the public experiment facade: declarative specs,
   pluggable serial/parallel executors, versioned result sets;
 * :mod:`repro.registry` — the one generic component registry behind
-  codecs, strategies, predictors, workloads, engines, and executors;
+  codecs, strategies, predictors, workloads, engines, executors,
+  memory hierarchies, and codec-assignment policies;
 * :mod:`repro.isa` — the embedded target ISA, assembler, binary encoding;
 * :mod:`repro.cfg` — basic blocks, control flow graph, loops, profiles;
 * :mod:`repro.compress` — codecs (Huffman, LZW, LZ77, dictionary, ...);
 * :mod:`repro.memory` — compressed/decompressed memory image, allocator,
-  remember sets;
+  remember sets, memory-hierarchy presets;
+* :mod:`repro.selection` — profile-guided per-unit codec assignment
+  (selective compression policies);
 * :mod:`repro.runtime` — the cycle-accounted machine, background-thread
   timelines, metrics;
 * :mod:`repro.strategies` — k-edge compression, on-demand and

@@ -71,9 +71,24 @@ from .spec import (
     zip_axes,
 )
 
-#: Alias kept close to the old analysis helper: run one (workload,
-#: config) cell and validate it against the workload oracle.
-run_cell = run_one
+def run_cell(
+    workload: Union[str, Workload],
+    config: SimulationConfig,
+    cfg: Optional[ProgramCFG] = None,
+    max_blocks: Optional[int] = None,
+):
+    """Run one (workload, config) cell and validate it against the
+    workload oracle.
+
+    The facade sibling of the internal
+    :func:`~repro.analysis.sweep.run_one`: it additionally resolves
+    workload registry names, like :func:`run_grid` does.
+    """
+    if isinstance(workload, str):
+        from ..workloads.suite import get_workload
+
+        workload = get_workload(workload)
+    return run_one(workload, config, cfg=cfg, max_blocks=max_blocks)
 
 
 def _cache_meta(executor: Executor) -> "dict[str, Any]":
@@ -203,10 +218,49 @@ def run_instrumented(
     return manager, result
 
 
+def profile_workload(
+    workload: Union[str, Workload],
+    max_blocks: Optional[int] = None,
+):
+    """Record an offline edge profile for a workload.
+
+    Runs the workload once, uncompressed and interpreted (the cheapest
+    faithful run), and folds the recorded block trace into an
+    :class:`~repro.cfg.profile.EdgeProfile` — the input the
+    profile-guided codec-assignment policies
+    (:mod:`repro.selection`) and the "static-profile" predictor expect
+    in ``SimulationConfig.profile``.  Deterministic, so profiled
+    configs still fingerprint stably in the experiment store.
+    """
+    from ..cfg.profile import profile_from_trace
+    from ..workloads.suite import get_workload
+
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    run = run_one(
+        workload,
+        SimulationConfig(
+            decompression="none", codec="null",
+            trace_events=False, record_trace=True,
+        ),
+        max_blocks=max_blocks,
+    )
+    if run.result.trace_truncated:
+        # A truncated trace would under-count everything executed
+        # after the cap and silently mis-rank hot units; refuse, like
+        # PreparedTrace does for replays.
+        raise ValueError(
+            "profiling run hit the block-trace recording cap, so the "
+            "profile would silently miss late execution; profile a "
+            "bounded prefix explicitly via max_blocks instead"
+        )
+    return profile_from_trace(run.result.block_trace)
+
+
 def list_components() -> "dict[str, List[str]]":
     """Every pluggable component family, from the unified registry
     catalog (codecs, strategies, predictors, workloads, engines,
-    executors)."""
+    executors, hierarchies, assignment policies)."""
     return {
         kind: registry.names()
         for kind, registry in all_registries().items()
@@ -251,6 +305,7 @@ __all__ = [
     "list_components",
     "make_executor",
     "parse_k",
+    "profile_workload",
     "run_cell",
     "run_experiment",
     "run_grid",

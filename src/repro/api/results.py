@@ -350,7 +350,7 @@ class ResultSet:
         config_cols = [
             "codec", "decompression", "k_compress", "k_decompress",
             "predictor", "granularity", "memory_budget", "eviction",
-            "image_scheme", "hierarchy",
+            "image_scheme", "hierarchy", "assignment",
         ]
         metric_cols = sorted(run_metrics(self.runs[0])) if self.runs \
             else []

@@ -3,9 +3,18 @@
 The pre-decompress-single strategy needs to "predict the block (among
 these...) that is to be the most likely one to be reached" (Section 4).
 Likelihood comes from an *edge profile*: counts of traversals per CFG edge,
-gathered either offline (a profiling run) or online (updated while the
+gathered either offline (a profiling run — see
+:func:`repro.api.profile_workload`) or online (updated while the
 program runs).  This module provides the profile container and helpers to
 derive branch probabilities from it.
+
+Two consumers drive the design: the "static-profile" *predictor*
+(:mod:`repro.strategies.predictor`) reads successor probabilities, and
+the profile-guided *codec-assignment* policies (:mod:`repro.selection`)
+rank compression units by their block entry counts.  Profiles serialise
+into store fingerprints by content
+(:func:`repro.store.fingerprint.config_signature`), so a profiled
+configuration caches as stably as an unprofiled one.
 """
 
 from __future__ import annotations
@@ -19,7 +28,16 @@ from .graph import ControlFlowGraph
 
 @dataclass
 class EdgeProfile:
-    """Traversal counts per (src, dst) edge plus per-block entry counts."""
+    """Traversal counts per (src, dst) edge plus per-block entry counts.
+
+    ``block_counts`` is maintained *by* the recording methods, not
+    independently: :meth:`record_edge` counts the destination block's
+    entry and :meth:`record_entry` counts a sourceless entry (program
+    start), so a block's count is always the number of times execution
+    entered it.  Consumers that only need hotness (the codec-assignment
+    policies) read ``block_counts``; consumers that need branch
+    likelihood (the predictors) read the edge counts.
+    """
 
     edge_counts: Dict[Tuple[int, int], int] = field(
         default_factory=lambda: defaultdict(int)
@@ -72,10 +90,12 @@ class EdgeProfile:
     ) -> Dict[int, float]:
         """Probability of each successor of ``block_id`` being taken next.
 
-        Unprofiled successors share the probability mass uniformly when the
-        block was never observed leaving; otherwise they get probability 0
-        (plus Laplace smoothing of 1 count to keep every successor
-        possible).
+        Every successor's count gets Laplace smoothing of +1 before
+        normalising, so no successor ever has probability 0 — an
+        unprofiled successor of a profiled block keeps a small residual
+        probability, and when the block was never observed leaving at
+        all, the mass is shared uniformly (each of n successors gets
+        1/n).
         """
         successors = cfg.successors(block_id)
         if not successors:

@@ -48,8 +48,22 @@ from .cfg import build_cfg, natural_loops
 from .compress import available_codecs, compare_codecs
 from .core import DECOMPRESSION_STRATEGIES, SimulationConfig
 from .memory import available_hierarchies
+from .selection import (
+    AssignmentError,
+    available_assignments,
+    validate_assignment,
+)
 from .strategies import available_predictors
 from .workloads import available_workloads, get_workload
+
+
+def _parse_assignment(text: str) -> str:
+    """Validate an --assignment policy spec; argparse-friendly errors."""
+    try:
+        validate_assignment(text)
+    except AssignmentError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def _parse_k_list(text: str) -> List[Optional[int]]:
@@ -100,6 +114,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="memory-hierarchy preset: per-level latency, burst "
              "granularity and energy for the front/target memories "
              "(default: flat, the seed-equivalent cost model)",
+    )
+    parser.add_argument(
+        "--assignment", default="uniform", type=_parse_assignment,
+        metavar="POLICY",
+        help="per-unit codec-assignment policy "
+             f"({', '.join(available_assignments())}; parameters "
+             "attach with colons, e.g. knapsack:0.9 or "
+             "hotness-threshold:0.25:rle; non-uniform policies "
+             "profile the workload first; default: uniform)",
     )
 
 
@@ -160,7 +183,35 @@ def _report_cell_failures(result) -> int:
     return 1
 
 
-def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+def _assignment_profile(
+    args: argparse.Namespace, workload, strategy: Optional[str] = None
+):
+    """The offline edge profile a non-uniform assignment needs.
+
+    Profile-guided policies rank units by real execution counts; the
+    CLI records them with one cheap uncompressed run.  Uniform runs
+    skip this (None keeps the config byte-identical to the default),
+    as does ``strategy="none"`` — the uncompressed baseline builds no
+    image, so an assignment is inert and profiling it would double the
+    command's runtime for nothing.
+    """
+    if getattr(args, "assignment", "uniform") == "uniform":
+        return None
+    if strategy == "none":
+        return None
+    try:
+        return api.profile_workload(workload)
+    except ValueError as exc:
+        # E.g. the profiling trace hit the recording cap; fail as a
+        # clean CLI error, not a traceback.
+        print(f"error: cannot profile {workload.name}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+def _config_from_args(
+    args: argparse.Namespace, profile=None
+) -> SimulationConfig:
     return SimulationConfig(
         codec=args.codec,
         decompression=args.strategy,
@@ -169,6 +220,8 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         predictor=args.predictor,
         memory_budget=args.budget,
         hierarchy=args.hierarchy,
+        assignment=args.assignment,
+        profile=profile,
         trace_events=False,
         record_trace=False,
     )
@@ -213,7 +266,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    run = api.run_cell(workload, _config_from_args(args))
+    profile = _assignment_profile(args, workload, args.strategy)
+    run = api.run_cell(workload, _config_from_args(args, profile))
     print(run.result.render())
     if run.validation:
         print("\nVALIDATION FAILED:")
@@ -227,11 +281,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     k_values = args.k_values
+    profile = _assignment_profile(args, workload, args.strategy)
     configs = [
         SimulationConfig(
             codec=args.codec, decompression=args.strategy,
             k_compress=k, k_decompress=args.k_decompress,
             predictor=args.predictor, hierarchy=args.hierarchy,
+            assignment=args.assignment, profile=profile,
             trace_events=False, record_trace=False,
         )
         for k in k_values
@@ -262,6 +318,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
+    profile = _assignment_profile(args, workload)
     configs = [
         SimulationConfig(decompression="none", codec="null",
                          label="uncompressed",
@@ -277,6 +334,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 k_decompress=args.k_decompress,
                 predictor=args.predictor, label=strategy,
                 hierarchy=args.hierarchy,
+                assignment=args.assignment, profile=profile,
                 trace_events=False, record_trace=False,
             )
         )
@@ -309,6 +367,21 @@ def cmd_exp(args: argparse.Namespace) -> int:
         return 2
     if args.engine is not None:
         spec.engine = args.engine
+    if args.assignment is not None:
+        # Override every cell's assignment policy (like --engine).
+        # Axis overrides beat base fields during expansion, so the
+        # override must land in both — a spec sweeping assignment as
+        # an axis is still forced onto the requested policy.
+        spec.base = {**dict(spec.base), "assignment": args.assignment}
+        spec.axes = [
+            {**dict(override), "assignment": args.assignment}
+            for override in spec.axes
+        ]
+        try:
+            spec.configs()
+        except api.SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     executor = args.executor
     result = api.run_experiment(
         spec, executor=executor, jobs=args.jobs,
@@ -480,6 +553,121 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Where ``repro docs`` writes/checks the generated CLI reference.
+CLI_DOC_PATH = "docs/cli.md"
+
+_CLI_DOC_HEADER = """\
+# CLI reference
+
+Generated from the live argparse tree by `python -m repro.cli docs`
+(do **not** edit by hand — `make docs` regenerates and CI checks it is
+in sync).  Every subcommand runs as `python -m repro <command> ...`
+with `PYTHONPATH=src` (or the package installed).
+"""
+
+
+def _action_invocation(action: argparse.Action) -> str:
+    """Readable flag/positional syntax for one argparse action."""
+    if not action.option_strings:  # positional
+        return action.metavar or action.dest.upper()
+    metavar = ""
+    if action.nargs != 0:
+        name = action.metavar or action.dest.upper()
+        metavar = f" [{name}]" if action.nargs == "?" else f" {name}"
+    return ", ".join(
+        f"{flag}{metavar}" for flag in action.option_strings
+    )
+
+
+def _action_doc_line(action: argparse.Action) -> str:
+    """One markdown bullet documenting an argparse action."""
+    parts = [f"- `{_action_invocation(action)}` — {action.help or ''}"]
+    if action.choices is not None:
+        names = ", ".join(str(c) for c in action.choices)
+        parts.append(f" (one of: {names})")
+    return "".join(parts)
+
+
+def render_cli_docs() -> str:
+    """The full markdown CLI reference, from the live parser tree.
+
+    Deterministic for a given code state (no terminal-width dependent
+    argparse formatting), so ``docs/cli.md`` can be checked for sync
+    in CI: any flag/subcommand change regenerates the page.
+    """
+    parser = build_parser()
+    lines = [_CLI_DOC_HEADER]
+    subactions = [
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    for subaction in subactions:
+        helps = {
+            choice.dest: choice.help or ""
+            for choice in subaction._choices_actions
+        }
+        for name, sub in subaction.choices.items():
+            lines.append(f"## `repro {name}`")
+            lines.append("")
+            summary = helps.get(name, "")
+            if summary:
+                lines.append(summary[0].upper() + summary[1:] + ".")
+                lines.append("")
+            positionals = [
+                a for a in sub._actions
+                if not a.option_strings
+                and not isinstance(a, argparse._SubParsersAction)
+            ]
+            options = [
+                a for a in sub._actions
+                if a.option_strings
+                and not isinstance(a, argparse._HelpAction)
+            ]
+            if positionals:
+                lines.append("Arguments:")
+                lines.append("")
+                for action in positionals:
+                    lines.append(_action_doc_line(action))
+                lines.append("")
+            if options:
+                lines.append("Options:")
+                lines.append("")
+                for action in options:
+                    lines.append(_action_doc_line(action))
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def cmd_docs(args: argparse.Namespace) -> int:
+    """Generate (or check) the argparse-derived CLI reference page."""
+    text = render_cli_docs()
+    path = args.output
+    if args.check:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                current = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        if current != text:
+            print(
+                f"error: {path} is out of sync with the CLI; "
+                f"regenerate with `python -m repro.cli docs`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} is in sync with the CLI")
+        return 0
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"[CLI reference written to {path}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -543,6 +731,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's sweep engine",
     )
     exp_parser.add_argument(
+        "--assignment", default=None, type=_parse_assignment,
+        metavar="POLICY",
+        help="override every cell's codec-assignment policy "
+             f"({', '.join(available_assignments())}; colon "
+             "parameters accepted, e.g. knapsack:0.9).  Spec cells "
+             "carry no offline profile, so non-uniform policies use "
+             "the static loop-nesting hotness estimate here — labels "
+             "mark such runs '[static]'; run/sweep/compare profile "
+             "the workload instead",
+    )
+    exp_parser.add_argument(
         "--executor", default=None, choices=api.EXECUTORS.names(),
         help="override the spec's executor",
     )
@@ -577,6 +776,20 @@ def build_parser() -> argparse.ArgumentParser:
              "temp dir)",
     )
     store_parser.set_defaults(func=cmd_store)
+
+    docs_parser = subparsers.add_parser(
+        "docs", help="generate docs/cli.md from the argparse tree"
+    )
+    docs_parser.add_argument(
+        "--check", action="store_true",
+        help="verify the page matches the live CLI instead of writing "
+             "(nonzero exit on drift; the `make docs` / CI gate)",
+    )
+    docs_parser.add_argument(
+        "--output", default=CLI_DOC_PATH, metavar="PATH",
+        help=f"where to write/check the page (default: {CLI_DOC_PATH})",
+    )
+    docs_parser.set_defaults(func=cmd_docs)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run performance microbenchmarks "

@@ -15,6 +15,7 @@ from typing import Optional
 from ..cfg.profile import EdgeProfile
 from ..compress.codec import available_codecs
 from ..memory.hierarchy import HIERARCHIES
+from ..selection.assignment import AssignmentError, validate_assignment
 from ..strategies.base import STRATEGIES
 from ..strategies.predictor import available_predictors
 
@@ -67,6 +68,13 @@ class SimulationConfig:
             cost model exactly, "spm-front"/"two-level-dram" add real
             target-memory geometry (burst rounding, bus latency,
             per-level energy).
+        assignment: per-unit codec-assignment policy spec (see
+            :mod:`repro.selection`); "uniform" (the default, byte-
+            identical to single-codec behaviour), "hotness-threshold"
+            (hot units stay uncompressed), or "knapsack" (cycles-saved
+            maximisation under a compressed-size budget).  Specs accept
+            colon parameters, e.g. "knapsack:0.9",
+            "hotness-threshold:0.25:rle".
         fault_cycles: exception-handler entry/exit cost charged on every
             memory-protection fault (full faults and patch-only faults).
         patch_cycles: background cycles per branch patch performed by the
@@ -95,6 +103,7 @@ class SimulationConfig:
     eviction: str = "lru"
     image_scheme: str = "separate"
     hierarchy: str = "flat"
+    assignment: str = "uniform"
     fault_cycles: int = 50
     patch_cycles: int = 4
     contention: float = 0.0
@@ -158,6 +167,10 @@ class SimulationConfig:
                 f"unknown memory hierarchy '{self.hierarchy}'; "
                 f"available: {tuple(HIERARCHIES.names(sort=False))}"
             )
+        try:
+            validate_assignment(self.assignment)
+        except AssignmentError as exc:
+            raise ConfigError(str(exc)) from None
         if self.fault_cycles < 0 or self.patch_cycles < 0:
             raise ConfigError("cycle costs must be non-negative")
         if not 0.0 <= self.contention <= 1.0:
@@ -193,4 +206,12 @@ class SimulationConfig:
             name += f"/budget={self.memory_budget}"
         if self.hierarchy != "flat":
             name += f"/{self.hierarchy}"
+        if self.assignment != "uniform":
+            # Mark profile-less selective runs: the policy then ranks
+            # units by the static loop-nesting estimate, which is a
+            # different input than a recorded profile — rows must never
+            # look silently comparable across the two.
+            name += f"/{self.assignment}"
+            if self.profile is None:
+                name += "[static]"
         return name

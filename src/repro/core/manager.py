@@ -222,9 +222,16 @@ class CodeCompressionManager:
         path — the provider installed by the caching executor — makes
         this implicit for sweeps; the explicit hook serves one-off
         instrumented runs (:func:`repro.api.run_instrumented`).
+
+        Mixed-codec runs (a non-uniform codec assignment) also return
+        None: their payload list interleaves codecs, and storing it
+        under the base codec's key would poison the bundle a later
+        uniform run loads.  The per-codec bundles those payloads were
+        assembled from are exported by the automatic provider path
+        anyway.
         """
         artifacts = self.residency.artifacts
-        if artifacts is None:
+        if artifacts is None or artifacts.codec_map is not None:
             return None
         return store.put_artifact_bundle(
             self.config.codec,

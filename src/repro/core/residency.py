@@ -21,6 +21,14 @@ memory, and non-flat targets add bus-transfer cycles on top of the
 codec's decompression latency.  Under the default ``flat`` preset both
 charges reduce to the seed model exactly.
 
+Under a non-uniform codec assignment (``config.assignment``, see
+:mod:`repro.selection`) the image holds mixed-codec payloads and every
+unit is charged *its own* codec's decompression latency
+(:meth:`ResidencySubsystem.unit_codec`); units assigned ``"null"``
+live uncompressed and fill for free.  The ``uniform`` default
+short-circuits onto the single-codec artifact path, byte-identical to
+the pre-selection behaviour.
+
 Policies never see this class directly — the manager re-exports the
 geometry queries through the existing
 :class:`~repro.strategies.base.ManagerView` protocol.
@@ -40,6 +48,11 @@ from ..memory.image import (
     compression_artifacts,
 )
 from ..memory.remember_set import BranchSite, RememberSets
+from ..selection.assignment import (
+    assignment_artifacts,
+    build_assignment,
+    unit_map,
+)
 from ..runtime.events import EventKind, EventLog
 from ..runtime.metrics import Counters, FootprintTimeline
 from ..strategies.budget import MemoryBudget
@@ -76,30 +89,30 @@ class ResidencySubsystem:
         self.on_unit_released: Optional[Callable[[int], None]] = None
 
         # ---- compression units -------------------------------------
-        if config.granularity == "function":
-            self._unit_of: Dict[int, int] = dict(cfg.function_of)
-            self._unit_blocks: Dict[int, Set[int]] = {
-                unit: set(blocks) for unit, blocks in cfg.functions.items()
-            }
-        else:
-            self._unit_of = {
-                block.block_id: block.block_id for block in cfg.blocks
-            }
-            self._unit_blocks = {
-                block.block_id: {block.block_id} for block in cfg.blocks
-            }
+        unit_of, unit_blocks = unit_map(cfg, config.granularity)
+        self._unit_of: Dict[int, int] = unit_of
+        self._unit_blocks: Dict[int, Set[int]] = {
+            unit: set(blocks) for unit, blocks in unit_blocks.items()
+        }
 
         # ---- image and shared artifacts ----------------------------
         # Compression products (trained codec, payloads, plaintexts) are
-        # pure functions of (cfg, codec name) and shared across managers,
-        # so sweep grid cells never recompress identical block bytes.
+        # pure functions of (cfg, codec name) — or, under a non-uniform
+        # codec assignment, of (cfg, assignment digest) — and shared
+        # across managers, so sweep grid cells never recompress
+        # identical block bytes.
         self.uncompressed_mode = config.decompression == "none"
+        self.assignment = None
         if self.uncompressed_mode:
             self.codec = get_codec(config.codec)
             self.image: Optional[CodeImage] = None
             self.artifacts = None
         else:
-            artifacts = compression_artifacts(cfg, config.codec)
+            if config.assignment != "uniform":
+                self.assignment = build_assignment(cfg, config)
+                artifacts = assignment_artifacts(cfg, self.assignment)
+            else:
+                artifacts = compression_artifacts(cfg, config.codec)
             self.artifacts = artifacts
             self.codec = artifacts.codec
             if config.image_scheme == "inplace":
@@ -159,11 +172,24 @@ class ResidencySubsystem:
             self._unit_size_cache[unit_id] = size
         return size
 
+    def unit_codec(self, unit_id: int):
+        """The codec that owns ``unit_id``'s payloads.
+
+        Uniform runs return the one configured codec; mixed-codec runs
+        (``config.assignment`` != "uniform") dispatch to the unit's
+        assigned codec — every block of a unit shares one codec by
+        construction.
+        """
+        if self.assignment is None or self.image is None:
+            return self.codec
+        return self.image.codec_for(next(iter(self._unit_blocks[unit_id])))
+
     def unit_decompress_latency(self, unit_id: int) -> int:
-        """Modelled codec cycles to decompress all of ``unit_id``."""
+        """Modelled codec cycles to decompress all of ``unit_id``
+        (charged with the unit's own codec under a mixed assignment)."""
         latency = self._unit_latency_cache.get(unit_id)
         if latency is None:
-            latency = self.codec.costs.decompress_latency(
+            latency = self.unit_codec(unit_id).costs.decompress_latency(
                 self.unit_uncompressed_size(unit_id)
             )
             self._unit_latency_cache[unit_id] = latency

@@ -50,12 +50,18 @@ class CompressionArtifacts:
     ``plaintext`` memoizes decompressed block bytes on first fault so
     repeated faults on the same unit (within a run or across grid cells)
     never re-run the codec.
+
+    ``codec_map`` (optional) is the mixed-codec view built by
+    :func:`repro.selection.assignment.assignment_artifacts`: a per-block
+    codec instance overriding ``codec`` for payload decode dispatch.
+    When absent, every block uses ``codec`` — the uniform case.
     """
 
     codec: Codec
     block_data: List[bytes]
     payloads: List[bytes]
     plaintext: Dict[int, bytes] = field(default_factory=dict)
+    codec_map: Optional[Dict[int, Codec]] = None
 
 
 class ArtifactCache:
@@ -250,6 +256,13 @@ class CodeImage(abc.ABC):
     skips per-image codec training and block compression and shares the
     decompressed-bytes memo across every image built for the same
     (CFG, codec) pair — the sweep fast path.
+
+    Mixed-codec images (per-unit codec assignment) are built from
+    artifacts carrying a ``codec_map``; :meth:`codec_for` dispatches
+    every per-block decode/latency/verify to the block's own codec, and
+    the shared-model overhead is charged once per *distinct* codec in
+    use instead of once for the uniform codec.  Mapped codecs must
+    arrive trained (the artifact builders guarantee this).
     """
 
     def __init__(
@@ -265,20 +278,38 @@ class CodeImage(abc.ABC):
         self.release_count = 0
         self._artifacts = artifacts
         self._plaintext = artifacts.plaintext if artifacts else {}
+        self._codec_map = artifacts.codec_map if artifacts else None
         # Payload sizes never change after construction; the image-size
         # sums below are cached on first use (footprint_bytes queries
         # them on every materialise/release).
         self._compressed_image_size: Optional[int] = None
         self._uncompressed_image_size: Optional[int] = None
         # Shared-model codecs (CodePack-style) train on the whole image
-        # at link time; the model's size is charged once, below.
+        # at link time; the model's size is charged once per distinct
+        # codec storing payloads, below.
         if hasattr(codec, "train") and not getattr(
             codec, "is_trained", True
         ):
             codec.train([block_bytes(block) for block in cfg.blocks])
-        self.model_overhead = int(
-            getattr(codec, "model_overhead_bytes", 0)
-        )
+        if self._codec_map is not None:
+            distinct = {
+                id(c): c for c in self._codec_map.values()
+            }
+            self.model_overhead = sum(
+                int(getattr(c, "model_overhead_bytes", 0))
+                for c in distinct.values()
+            )
+        else:
+            self.model_overhead = int(
+                getattr(codec, "model_overhead_bytes", 0)
+            )
+
+    def codec_for(self, block_id: int) -> Codec:
+        """The codec that owns ``block_id``'s payload (mixed-codec
+        images dispatch per block; uniform images return the one codec)."""
+        if self._codec_map is not None:
+            return self._codec_map[block_id]
+        return self.codec
 
     def _payload(self, block) -> bytes:
         """Compressed payload for ``block`` (precomputed when shared)."""
@@ -365,8 +396,9 @@ class CodeImage(abc.ABC):
         return self.compressed_image_size / total
 
     def decompress_latency(self, block_id: int) -> int:
-        """Modelled cycles to decompress ``block_id``."""
-        return self.codec.costs.decompress_latency(
+        """Modelled cycles to decompress ``block_id`` (with its own
+        codec, under a mixed-codec assignment)."""
+        return self.codec_for(block_id).costs.decompress_latency(
             self.blocks[block_id].uncompressed_size
         )
 
@@ -384,7 +416,7 @@ class CodeImage(abc.ABC):
         if data is None:
             block = self.blocks[block_id]
             data = decompress_for_image(
-                self.codec, block.compressed_payload,
+                self.codec_for(block_id), block.compressed_payload,
                 block.uncompressed_size,
             )
             self._plaintext[block_id] = data
@@ -400,7 +432,7 @@ class CodeImage(abc.ABC):
         original = block_bytes(self.cfg.block(block_id))
         try:
             recovered = decompress_for_image(
-                self.codec, block.compressed_payload,
+                self.codec_for(block_id), block.compressed_payload,
                 block.uncompressed_size,
             )
         except CodecError:

@@ -1,0 +1,54 @@
+"""``repro.selection`` — profile-guided per-unit codec assignment.
+
+Maps each compression unit to its own codec (including ``"null"``,
+i.e. uncompressed) so hot code stays cheap to enter while cold code
+compresses aggressively — the paper's selectivity trade-off made
+explicit and sweepable via ``SimulationConfig.assignment``.
+
+See :mod:`repro.selection.assignment` for the policy interface and
+:mod:`repro.selection.policies` for the built-ins (``uniform``,
+``hotness-threshold``, ``knapsack``); ``docs/strategies.md`` maps them
+back to the paper.
+"""
+
+from .assignment import (
+    ASSIGNMENTS,
+    UNCOMPRESSED,
+    AssignmentContext,
+    AssignmentError,
+    AssignmentPolicy,
+    CodecAssignment,
+    UnitStats,
+    assignment_artifacts,
+    available_assignments,
+    build_assignment,
+    make_policy,
+    parse_assignment,
+    unit_map,
+    validate_assignment,
+)
+from .policies import (
+    HotnessThresholdAssignment,
+    KnapsackAssignment,
+    UniformAssignment,
+)
+
+__all__ = [
+    "ASSIGNMENTS",
+    "UNCOMPRESSED",
+    "AssignmentContext",
+    "AssignmentError",
+    "AssignmentPolicy",
+    "CodecAssignment",
+    "HotnessThresholdAssignment",
+    "KnapsackAssignment",
+    "UniformAssignment",
+    "UnitStats",
+    "assignment_artifacts",
+    "available_assignments",
+    "build_assignment",
+    "make_policy",
+    "parse_assignment",
+    "unit_map",
+    "validate_assignment",
+]

@@ -1,0 +1,211 @@
+"""The built-in codec-assignment policies.
+
+Three policies ship with the registry:
+
+* ``uniform`` — every unit gets the configured base codec; the
+  byte-identical default (the residency layer short-circuits it onto
+  the exact pre-selection code path).
+* ``hotness-threshold`` — the paper's selectivity argument in its
+  bluntest form: the hottest units (top fraction by profiled or
+  estimated execution count) stay uncompressed (or any cheap codec,
+  e.g. ``rle``) so re-entering them never pays decompression latency;
+  every other unit takes whichever of {base codec, uncompressed} is
+  smaller (a codec that *inflates* a unit buys latency with no space —
+  strictly worse than storing the bytes raw).
+* ``knapsack`` — selective compression under an explicit size budget:
+  start from the per-unit minimum-size floor, then spend the bytes the
+  floor saved (relative to ``budget_fraction`` x the uniform image) on
+  keeping the most valuable units uncompressed.  Value is predicted
+  decompression cycles saved (hotness x base-codec latency), weight is
+  the size increase; a greedy density pass is refined by an exact 0/1
+  knapsack DP over the top candidates.  With the default budget
+  fraction of 1.0 the mixed image is never larger than the uniform
+  one — the "equal or smaller footprint, fewer stalls" point E14
+  measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..compress.codec import available_codecs
+from .assignment import (
+    ASSIGNMENTS,
+    UNCOMPRESSED,
+    AssignmentContext,
+    AssignmentPolicy,
+)
+
+#: The DP refinement considers at most this many greedy candidates and
+#: this much spare capacity; beyond that the greedy solution stands
+#: (the refinement is a polish, not the workhorse).
+_DP_MAX_ITEMS = 32
+_DP_MAX_CAPACITY = 4096
+
+
+@ASSIGNMENTS.register("uniform")
+class UniformAssignment(AssignmentPolicy):
+    """Every unit gets the base codec — today's single-codec behaviour."""
+
+    def assign(self, context: AssignmentContext) -> Dict[int, str]:
+        return {
+            unit.unit_id: context.base_codec for unit in context.units
+        }
+
+
+@ASSIGNMENTS.register("hotness-threshold")
+class HotnessThresholdAssignment(AssignmentPolicy):
+    """Top-``hot_fraction`` units by hotness stay cheap to enter.
+
+    ``hot_codec`` defaults to ``"null"`` (uncompressed); ``"rle"`` is
+    the other sensible choice (near-zero latency, some compression).
+    Cold units take the smaller of {base codec, uncompressed} so an
+    inflating payload is never stored.
+    """
+
+    def __init__(
+        self, hot_fraction: float = 0.25, hot_codec: str = UNCOMPRESSED
+    ) -> None:
+        if not 0.0 < float(hot_fraction) <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in (0, 1], got {hot_fraction}"
+            )
+        # Validate the codec name here so a typo fails at spec
+        # validation (clean argparse/ConfigError), not mid-run after
+        # the profiling pass.
+        if hot_codec not in available_codecs():
+            raise ValueError(
+                f"unknown hot_codec '{hot_codec}'; "
+                f"available: {available_codecs()}"
+            )
+        self.hot_fraction = float(hot_fraction)
+        self.hot_codec = str(hot_codec)
+
+    def assign(self, context: AssignmentContext) -> Dict[int, str]:
+        out: Dict[int, str] = {}
+        for unit in context.units:
+            base_size = context.unit_payload_size(
+                unit.unit_id, context.base_codec
+            )
+            out[unit.unit_id] = (
+                UNCOMPRESSED if unit.size_bytes <= base_size
+                else context.base_codec
+            )
+        ranked = sorted(
+            (u for u in context.units if u.hotness > 0),
+            key=lambda u: (-u.hotness, u.unit_id),
+        )
+        hot_count = max(
+            1, round(self.hot_fraction * len(context.units))
+        ) if ranked else 0
+        for unit in ranked[:hot_count]:
+            out[unit.unit_id] = self.hot_codec
+        return out
+
+
+@ASSIGNMENTS.register("knapsack")
+class KnapsackAssignment(AssignmentPolicy):
+    """Maximise predicted cycles saved under a compressed-size budget.
+
+    The budget is ``budget_fraction`` x the uniform (all-base-codec)
+    image size; 1.0 guarantees the mixed image never exceeds uniform.
+    """
+
+    def __init__(self, budget_fraction: float = 1.0) -> None:
+        value = float(budget_fraction)
+        if not math.isfinite(value) or value <= 0.0:
+            raise ValueError(
+                f"budget_fraction must be a finite positive number, "
+                f"got {budget_fraction}"
+            )
+        self.budget_fraction = value
+
+    def assign(self, context: AssignmentContext) -> Dict[int, str]:
+        base = context.base_codec
+        # Floor: the smallest-image assignment (base vs uncompressed
+        # per unit; ties go to uncompressed — same bytes, no latency).
+        out: Dict[int, str] = {}
+        for unit in context.units:
+            base_size = context.unit_payload_size(unit.unit_id, base)
+            out[unit.unit_id] = (
+                UNCOMPRESSED if unit.size_bytes <= base_size else base
+            )
+        budget = int(
+            round(self.budget_fraction * context.uniform_image_size)
+        )
+        spare = budget - context.image_size(out)
+        if spare <= 0:
+            return out
+        # Upgrade candidates: units still on the base codec.  Value is
+        # the predicted synchronous decompression cycles saved over the
+        # run; weight is the image bytes the upgrade costs.
+        candidates: List[Tuple[int, int, int]] = []  # (value, weight, unit)
+        for unit in context.units:
+            if out[unit.unit_id] != base or unit.hotness <= 0:
+                continue
+            value = unit.hotness * context.decompress_latency(
+                base, unit.size_bytes
+            )
+            weight = unit.size_bytes - context.unit_payload_size(
+                unit.unit_id, base
+            )
+            if value > 0:
+                candidates.append((value, max(weight, 0), unit.unit_id))
+        if not candidates:
+            return out
+        greedy = self._greedy(candidates, spare)
+        refined = self._dp_refine(candidates, spare)
+        chosen = refined if refined is not None and (
+            sum(v for v, _, _ in refined)
+            > sum(v for v, _, _ in greedy)
+        ) else greedy
+        for _, _, unit_id in chosen:
+            out[unit_id] = UNCOMPRESSED
+        return out
+
+    @staticmethod
+    def _greedy(
+        candidates: List[Tuple[int, int, int]], spare: int
+    ) -> List[Tuple[int, int, int]]:
+        """Density-ordered greedy selection within ``spare`` bytes."""
+        ranked = sorted(
+            candidates,
+            key=lambda c: (-(c[0] / (c[1] or 1)), c[2]),
+        )
+        taken: List[Tuple[int, int, int]] = []
+        spent = 0
+        for value, weight, unit_id in ranked:
+            if spent + weight <= spare:
+                spent += weight
+                taken.append((value, weight, unit_id))
+        return taken
+
+    @staticmethod
+    def _dp_refine(
+        candidates: List[Tuple[int, int, int]], spare: int
+    ) -> "List[Tuple[int, int, int]] | None":
+        """Exact 0/1 knapsack over the densest candidates.
+
+        Returns None when the instance is too large to solve exactly
+        (the greedy answer stands).
+        """
+        if spare > _DP_MAX_CAPACITY:
+            return None
+        ranked = sorted(
+            candidates,
+            key=lambda c: (-(c[0] / (c[1] or 1)), c[2]),
+        )[:_DP_MAX_ITEMS]
+        # best[w] = (total value, chosen tuple-list) using <= w bytes.
+        best: List[Tuple[int, Tuple[Tuple[int, int, int], ...]]] = [
+            (0, ())
+        ] * (spare + 1)
+        for item in ranked:
+            value, weight, _ = item
+            for w in range(spare, weight - 1, -1):
+                take_value = best[w - weight][0] + value
+                if take_value > best[w][0]:
+                    best[w] = (
+                        take_value, best[w - weight][1] + (item,)
+                    )
+        return list(best[spare][1])

@@ -24,9 +24,9 @@ Invalidation rules — a cell fingerprint changes (and the cached record
 is therefore ignored) whenever any of these change:
 
 * any semantic source file of the simulator (``cfg``, ``compress``,
-  ``core``, ``isa``, ``memory``, ``runtime``, ``strategies``,
-  ``workloads``, or ``analysis/sweep.py``) — hashed into
-  :func:`~repro.store.fingerprint.code_version`;
+  ``core``, ``isa``, ``memory``, ``runtime``, ``selection``,
+  ``strategies``, ``workloads``, or ``analysis/sweep.py``) — hashed
+  into :func:`~repro.store.fingerprint.code_version`;
 * the workload's program bytes (covers generated/synthetic programs);
 * any :class:`~repro.core.config.SimulationConfig` field (the offline
   edge profile hashes by content);

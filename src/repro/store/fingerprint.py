@@ -51,6 +51,7 @@ _SEMANTIC_SUBPACKAGES = (
     "isa",
     "memory",
     "runtime",
+    "selection",
     "strategies",
     "workloads",
 )
@@ -76,8 +77,8 @@ def code_version() -> str:
     """Hash of every semantic source file (cached per process).
 
     Any edit to the simulator's cfg/compress/core/isa/memory/runtime/
-    strategies/workloads code — or to the sweep engines — changes this
-    value and therefore every cell fingerprint.
+    selection/strategies/workloads code — or to the sweep engines —
+    changes this value and therefore every cell fingerprint.
     """
     global _code_version_cache
     if _code_version_cache is not None:

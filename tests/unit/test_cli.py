@@ -18,7 +18,8 @@ class TestList:
         main(["list"])
         out = capsys.readouterr().out
         for kind in ("codecs", "strategies", "predictors",
-                     "engines", "executors", "hierarchies"):
+                     "engines", "executors", "hierarchies",
+                     "assignments"):
             assert f"{kind}:" in out, kind
         assert "machine, trace" in out
         assert "parallel, serial" in out
@@ -146,6 +147,58 @@ class TestSweep:
         assert "k-edge sweep" in capsys.readouterr().out
 
 
+class TestAssignmentCLI:
+    def test_run_with_assignment(self, capsys):
+        assert main(["run", "composite",
+                     "--assignment", "knapsack"]) == 0
+        out = capsys.readouterr().out
+        assert "knapsack" in out
+        assert "validation: OK" in out
+
+    def test_sweep_assignment_changes_results(self, capsys):
+        def sweep(policy):
+            assert main([
+                "sweep", "composite", "--k-values", "2",
+                "--engine", "trace", "--assignment", policy,
+            ]) == 0
+            return capsys.readouterr().out
+
+        uniform = sweep("uniform")
+        hot = sweep("hotness-threshold")
+        assert uniform != hot
+
+    def test_compare_with_parameterised_assignment(self, capsys):
+        assert main(["compare", "gcd",
+                     "--assignment", "knapsack:0.9"]) == 0
+        assert "design space" in capsys.readouterr().out
+
+    def test_unknown_assignment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fib", "--assignment", "warp"])
+        assert excinfo.value.code == 2
+        assert "unknown assignment" in capsys.readouterr().err
+
+    def test_bad_assignment_parameter_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fib", "--assignment", "knapsack:0"])
+        assert "invalid parameters" in capsys.readouterr().err
+
+    def test_uncompressed_strategy_skips_profiling_run(
+        self, capsys, monkeypatch
+    ):
+        # strategy=none builds no image, so the assignment is inert —
+        # the CLI must not pay for (or pretend to use) a profile.
+        import repro.api as api_mod
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("profiled an uncompressed run")
+
+        monkeypatch.setattr(api_mod, "profile_workload", boom)
+        assert main(["run", "fib", "--strategy", "none",
+                     "--assignment", "knapsack"]) == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_strategies(self, capsys):
         assert main(["compare", "gcd"]) == 0
@@ -232,6 +285,63 @@ class TestExp:
         assert "MachineError" in captured.err
         # The table still lists every cell (nothing silently dropped).
         assert captured.out.count(" NO") == 4
+
+
+class TestExpAssignmentOverride:
+    def test_exp_assignment_override(self, capsys, tmp_path):
+        import json
+
+        spec = dict(TestExp.SPEC)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        out_csv = tmp_path / "rs.csv"
+        assert main([
+            "exp", "--spec", str(path),
+            "--assignment", "hotness-threshold",
+            "--csv", str(out_csv),
+        ]) == 0
+        header, *rows = out_csv.read_text().splitlines()
+        column = header.split(",").index("assignment")
+        assert all(
+            row.split(",")[column] == "hotness-threshold"
+            for row in rows
+        )
+
+    def test_exp_rejects_bad_assignment_override(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(TestExp.SPEC))
+        with pytest.raises(SystemExit):
+            main(["exp", "--spec", str(path),
+                  "--assignment", "warp"])
+
+    def test_exp_override_beats_assignment_axis(self, capsys, tmp_path):
+        # Axis overrides win over base during expansion; --assignment
+        # must still force every cell, including axis-swept ones.
+        import json
+
+        spec = {
+            "workloads": ["fib"],
+            "base": {"codec": "shared-dict",
+                     "decompression": "ondemand"},
+            "axes": {"grid": {"assignment": ["uniform", "knapsack"]}},
+            "engine": "trace",
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        out_csv = tmp_path / "rs.csv"
+        assert main([
+            "exp", "--spec", str(path),
+            "--assignment", "hotness-threshold",
+            "--csv", str(out_csv),
+        ]) == 0
+        header, *rows = out_csv.read_text().splitlines()
+        column = header.split(",").index("assignment")
+        assert rows and all(
+            row.split(",")[column] == "hotness-threshold"
+            for row in rows
+        )
 
 
 class TestStoreCLI:

@@ -7,7 +7,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke experiments examples store-smoke \
-	docs verify
+	chaos docs verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,7 +59,15 @@ docs:
 store-smoke:
 	$(PYTHON) -m repro store smoke
 
-verify: lint test bench-smoke examples docs store-smoke
+# Seeded fault-injection scenarios (tests/chaos/): sweeps under
+# injected worker crashes, hangs, transient faults and store
+# corruption must recover byte-identical results or degrade into
+# structured error rows — never abort, never cache a failure.
+chaos:
+	$(PYTHON) -m pytest tests/chaos -q
+
+verify: lint test bench-smoke examples docs store-smoke chaos
 	@echo "verify OK: lint clean, tier-1 tests green, fast-path" \
 		"output matches seed, examples run, docs in sync, store" \
-		"serves repeat sweeps from cache"
+		"serves repeat sweeps from cache, chaos suite survives" \
+		"injected faults"

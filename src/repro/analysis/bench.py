@@ -22,6 +22,7 @@ make target treats that as a hard error.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -244,18 +245,66 @@ def bench_e1_sweep(smoke: bool = False) -> Dict[str, object]:
     }
 
 
+def bench_chaos_overhead(smoke: bool = False) -> Dict[str, object]:
+    """Fault-free cost of the fault-tolerance layer: must be < 2%.
+
+    Times the same partition sweep with no retry policy (the seed
+    path) and with an armed ``RetryPolicy`` (per-cell deadlines and
+    the injection hooks active, but no plan installed, so nothing
+    fires).  The guard keeps the robustness layer honest: chaos
+    machinery must cost nothing when chaos is off.  Interleaved
+    best-of-``repeats`` timing cancels drift between the two paths.
+    """
+    from ..api.executor import run_partition
+    from ..faults.plan import FAULTS_ENV
+    from ..faults.retry import RetryPolicy
+
+    workload = get_workload("composite")
+    configs = _sweep_configs()[:3]
+    policy = RetryPolicy(attempts=3, timeout=60.0)
+    repeats = 3 if smoke else 5
+    # An inherited $REPRO_FAULTS would make the "fault-free" claim a
+    # lie; measure with chaos genuinely off.
+    previous = os.environ.pop(FAULTS_ENV, None)
+    try:
+        plain = armed = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run_partition(workload, configs, "machine", True, None)
+            plain = min(plain, time.perf_counter() - started)
+            started = time.perf_counter()
+            run_partition(workload, configs, "machine", True, None,
+                          policy)
+            armed = min(armed, time.perf_counter() - started)
+    finally:
+        if previous is not None:
+            os.environ[FAULTS_ENV] = previous
+    overhead = (armed - plain) / plain if plain else 0.0
+    return {
+        "cells": len(configs),
+        "plain_s": plain,
+        "armed_s": armed,
+        "overhead": overhead,
+        "within_budget": overhead < 0.02,
+    }
+
+
 def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
     """Run the full benchmark suite and return the report dict.
 
     ``report["ok"]`` is False when any exactness check failed (payload
-    mismatch or engine metric divergence).
+    mismatch, engine metric divergence, or the chaos machinery costing
+    more than its 2% fault-free budget).
     """
     huffman = bench_huffman_roundtrip(smoke)
     codecs = bench_codec_roundtrips(smoke)
     e1 = bench_e1_sweep(smoke)
     manager_loop = bench_manager_loop(smoke)
-    ok = bool(huffman["payloads_byte_identical"]) and bool(
-        e1["metrics_equal"]
+    chaos = bench_chaos_overhead(smoke)
+    ok = (
+        bool(huffman["payloads_byte_identical"])
+        and bool(e1["metrics_equal"])
+        and bool(chaos["within_budget"])
     )
     return {
         "schema": "bench_core/v1",
@@ -267,6 +316,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
         "codec_roundtrips": codecs,
         "e1_sweep": e1,
         "manager_loop": manager_loop,
+        "chaos_overhead": chaos,
         "ok": ok,
     }
 
@@ -313,6 +363,15 @@ def render_report(report: Dict[str, object]) -> str:
             f"{loop['blocks_executed']} blocks): "
             f"{loop['seconds'] * 1000:.1f} ms "
             f"({loop['blocks_per_s']:,.0f} blocks/s)"
+        )
+    chaos = report.get("chaos_overhead")
+    if chaos:
+        lines.append(
+            f"chaos off-path overhead ({chaos['cells']} cells): "
+            f"{chaos['plain_s'] * 1000:.1f} ms plain vs "
+            f"{chaos['armed_s'] * 1000:.1f} ms armed -> "
+            f"{chaos['overhead'] * 100:+.2f}% "
+            f"(budget < 2%: {chaos['within_budget']})"
         )
     lines.append(f"ok: {report['ok']}")
     return "\n".join(lines)

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from ..cfg.builder import ProgramCFG, build_cfg
 from ..core.config import SimulationConfig
 from ..core.manager import _TRACE_CAP, CodeCompressionManager
+from ..faults.runtime import CellTimeoutError, FaultError, cell_guard
 from ..isa.program import Program
 from ..registry import Registry
 from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
@@ -58,7 +59,11 @@ class SweepRun:
 
     ``error`` is set (and mirrored into ``validation``) when the cell
     raised instead of completing; its result is an all-zero placeholder
-    so table extraction never crashes on a failed cell.
+    so table extraction never crashes on a failed cell.  ``attempts``
+    is the retry provenance a :class:`~repro.faults.retry.RetryPolicy`
+    leaves behind (one dict per attempt: number, fault class, error,
+    duration); it is serialised only on exhausted error rows, so a
+    recovered cell stays byte-identical to an untroubled one.
     """
 
     workload: str
@@ -66,6 +71,7 @@ class SweepRun:
     result: SimulationResult
     validation: List[str] = field(default_factory=list)
     error: Optional[str] = None
+    attempts: Optional[List[Dict[str, object]]] = None
 
     @property
     def ok(self) -> bool:
@@ -129,10 +135,17 @@ def run_one(
     cfg: Optional[ProgramCFG] = None,
     max_blocks: Optional[int] = None,
 ) -> SweepRun:
-    """Simulate one workload under one config and validate the result."""
+    """Simulate one workload under one config and validate the result.
+
+    Runs under :func:`~repro.faults.runtime.cell_guard`: the active
+    retry policy's per-cell wall-clock deadline is armed and any
+    installed fault plan may fire — both no-ops in the default
+    (no-policy, no-plan) configuration.
+    """
     graph = cfg if cfg is not None else build_cfg(workload.program)
-    manager = CodeCompressionManager(graph, config)
-    result = manager.run(max_blocks=max_blocks)
+    with cell_guard(workload.name, config.strategy_name):
+        manager = CodeCompressionManager(graph, config)
+        result = manager.run(max_blocks=max_blocks)
     return SweepRun(
         workload=workload.name,
         config=config,
@@ -259,9 +272,10 @@ def _trace_sweep_workload(
     recording = configs[0].replace(trace_events=False, record_trace=True) \
         if fast else configs[0].replace(record_trace=True)
     effective_first = effective_config(configs[0], fast)
-    manager = CodeCompressionManager(graph, recording)
     try:
-        result = manager.run(max_blocks=max_blocks)
+        with cell_guard(workload.name, effective_first.strategy_name):
+            manager = CodeCompressionManager(graph, recording)
+            result = manager.run(max_blocks=max_blocks)
     except Exception as exc:
         # The recording cell raised: no trace to replay.  Report it as
         # an error run and interpret the remaining cells individually
@@ -292,8 +306,16 @@ def _trace_sweep_workload(
         effective = effective_config(config, fast)
         if complete:
             try:
-                replayed = simulate_trace(graph, prepared, effective,
-                                          max_blocks=max_blocks)
+                with cell_guard(workload.name, effective.strategy_name):
+                    replayed = simulate_trace(graph, prepared, effective,
+                                              max_blocks=max_blocks)
+            except (FaultError, CellTimeoutError) as exc:
+                # An injected fault or a blown deadline is a cell
+                # failure, not a replay shortcoming: report it as an
+                # error row (the retry layer may recover it) instead
+                # of paying for an interpreting fallback.
+                runs.append(_failed_run(workload, effective, exc))
+                continue
             except Exception:
                 # Replay failed for this cell: fall back to the
                 # interpreting path (which captures its own errors).

@@ -44,6 +44,7 @@ from ..analysis.sweep import ENGINES, SweepRun, available_engines, run_one
 from ..cfg.builder import ProgramCFG, build_cfg
 from ..core.config import SimulationConfig
 from ..core.manager import CodeCompressionManager
+from ..faults import FaultPlan, FaultRule, RetryPolicy, install_plan
 from ..registry import Registry, all_registries
 from ..runtime.metrics import SimulationResult
 from ..workloads.suite import Workload
@@ -112,6 +113,7 @@ def run_experiment(
     executor: Union[str, Executor, None] = None,
     jobs: Optional[int] = None,
     store: Union[str, bool, None] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ResultSet:
     """Expand and execute a spec; the declarative entry point.
 
@@ -119,7 +121,9 @@ def run_experiment(
     (the CLI's ``--jobs N`` and ``--store DIR``/``--no-cache`` flow
     through here).  A resolved store wraps the chosen executor in the
     :class:`~repro.store.executor.CachingExecutor`, so only missing or
-    changed cells are computed.
+    changed cells are computed.  ``retry`` is the
+    :class:`~repro.faults.RetryPolicy` failing cells run under (the
+    CLI's ``--retries``/``--cell-timeout``); None fails fast.
     """
     effective_jobs = jobs if jobs is not None else spec.jobs
     if executor is None:
@@ -129,7 +133,8 @@ def run_experiment(
             executor = spec.executor
     if store is None:
         store = spec.store
-    chosen = make_executor(executor, jobs=effective_jobs, store=store)
+    chosen = make_executor(executor, jobs=effective_jobs, store=store,
+                           retry=retry)
     partitions = [
         Partition(workload=name, configs=configs)
         for name, configs in spec.partitions()
@@ -162,6 +167,7 @@ def run_grid(
     fast: bool = True,
     max_blocks: Optional[int] = None,
     store: Union[str, bool, None] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ResultSet:
     """Run an already-expanded (workloads x configs) grid.
 
@@ -176,7 +182,7 @@ def run_grid(
             f"unknown sweep engine '{engine}'; "
             f"available: {tuple(available_engines())}"
         )
-    chosen = make_executor(executor, jobs=jobs, store=store)
+    chosen = make_executor(executor, jobs=jobs, store=store, retry=retry)
     partitions = [
         Partition(workload=workload, configs=list(configs))
         for workload in workloads
@@ -288,9 +294,12 @@ __all__ = [
     "ENGINES",
     "Executor",
     "ExperimentSpec",
+    "FaultPlan",
+    "FaultRule",
     "ParallelExecutor",
     "Partition",
     "Registry",
+    "RetryPolicy",
     "ResultSet",
     "SCHEMA_ID",
     "SCHEMA_VERSION",
@@ -302,6 +311,7 @@ __all__ = [
     "cases",
     "config_to_dict",
     "grid",
+    "install_plan",
     "list_components",
     "make_executor",
     "parse_k",

@@ -18,6 +18,20 @@ shared-artifact cache never recompresses identical block bytes.
   :class:`~repro.workloads.suite.Workload` objects (whose oracle
   closures do not pickle) silently run in-process instead.
 
+Fault tolerance (see :mod:`repro.faults` and ``docs/operations.md``):
+
+* every executor carries an optional
+  :class:`~repro.faults.retry.RetryPolicy`; failing cells are retried
+  with deterministic backoff and per-cell wall-clock deadlines, and a
+  cell that exhausts its attempts becomes a structured error row
+  carrying its attempt provenance (never an abort, never cached);
+* :class:`ParallelExecutor` survives worker crashes: a broken process
+  pool is rebuilt once, and if it breaks again the remaining
+  partitions fall back to in-process serial execution with a warning —
+  a dying worker degrades throughput, not results;
+* Ctrl-C is clean: any exception escaping the dispatch loop shuts the
+  pool down with ``cancel_futures=True`` so no worker processes leak.
+
 Simulation runs have no wall-clock or cross-cell dependence, so cell
 results do not depend on which process computed them.
 """
@@ -25,16 +39,23 @@ results do not depend on which process computed them.
 from __future__ import annotations
 
 import abc
+import logging
 import os
 import pickle
+import time
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..analysis.sweep import SweepRun, sweep
+from ..analysis.sweep import SweepRun, run_one_safe, sweep
 from ..core.config import SimulationConfig
+from ..faults.retry import RetryPolicy
+from ..faults.runtime import classify_fault, retry_scope
 from ..registry import Registry
 from ..workloads.suite import Workload, get_workload
+
+_log = logging.getLogger("repro.api.executor")
 
 #: The executor family, in the unified component catalog.
 EXECUTORS = Registry("executors")
@@ -58,20 +79,79 @@ class Partition:
         return self.workload.name
 
 
+def _retry_cell(
+    workload: Workload,
+    run: SweepRun,
+    retry: RetryPolicy,
+    max_blocks: Optional[int],
+) -> SweepRun:
+    """Re-attempt one errored cell under ``retry``.
+
+    Returns either a recovered run or the final error row; both carry
+    the attempt provenance (attempt number, fault class, error message,
+    per-attempt duration — the first attempt's duration is not
+    measured, to keep the fault-free path instrumentation-free).
+    """
+    if run.error is None:
+        return run
+    key = f"{run.workload}:{run.config.strategy_name}"
+    attempts: List[Dict[str, object]] = [{
+        "attempt": 1,
+        "fault": classify_fault(run.error),
+        "error": run.error,
+        "duration_ms": None,
+    }]
+    current = run
+    for attempt in range(2, retry.attempts + 1):
+        delay = retry.delay(attempt, key)
+        if delay > 0:
+            time.sleep(delay)
+        started = time.perf_counter()
+        current = run_one_safe(workload, run.config,
+                               max_blocks=max_blocks)
+        duration_ms = round((time.perf_counter() - started) * 1000, 3)
+        attempts.append({
+            "attempt": attempt,
+            "fault": classify_fault(current.error),
+            "error": current.error,
+            "duration_ms": duration_ms,
+        })
+        if current.error is None:
+            break
+    current.attempts = attempts
+    return current
+
+
 def run_partition(
     workload: Union[str, Workload],
     configs: Sequence[SimulationConfig],
     engine: str,
     fast: bool,
     max_blocks: Optional[int],
+    retry: Optional[RetryPolicy] = None,
 ) -> List[SweepRun]:
-    """Run one partition through the sweep engine (any process)."""
+    """Run one partition through the sweep engine (any process).
+
+    With a :class:`RetryPolicy`, the partition first runs normally
+    (fast paths intact, per-cell deadlines armed); only cells that
+    errored are then retried individually — so the fault-free path pays
+    nothing for the retry machinery.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload)
-    return sweep(
-        [workload], list(configs), fast=fast, max_blocks=max_blocks,
-        engine=engine,
-    ).runs
+    with retry_scope(retry):
+        runs = sweep(
+            [workload], list(configs), fast=fast, max_blocks=max_blocks,
+            engine=engine,
+        ).runs
+        if retry is not None and retry.attempts > 1 and any(
+            run.error is not None for run in runs
+        ):
+            runs = [
+                _retry_cell(workload, run, retry, max_blocks)
+                for run in runs
+            ]
+    return runs
 
 
 class Executor(abc.ABC):
@@ -79,8 +159,13 @@ class Executor(abc.ABC):
 
     name: str = "abstract"
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.jobs = jobs if jobs is not None else 1
+        self.retry = retry
 
     @abc.abstractmethod
     def run(
@@ -101,8 +186,12 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """In-process, in-order execution — the reference executor."""
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
-        super().__init__(1)  # always one job, whatever the caller asked
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        super().__init__(1, retry)  # always one job, whatever was asked
 
     def run(
         self,
@@ -115,7 +204,7 @@ class SerialExecutor(Executor):
         for partition in partitions:
             runs.extend(
                 run_partition(partition.workload, partition.configs,
-                              engine, fast, max_blocks)
+                              engine, fast, max_blocks, self.retry)
             )
         return runs
 
@@ -138,12 +227,44 @@ class ParallelExecutor(Executor):
     ``jobs=None`` uses ``os.cpu_count()``.  Results are reassembled in
     partition order, so the output is identical to
     :class:`SerialExecutor` — parallelism changes wall-clock time only.
+
+    Degradation ladder on a broken pool (a crashed/killed worker):
+    rebuild the pool once and resubmit the unfinished partitions; if it
+    breaks again, finish them serially in this process.  Both steps log
+    a warning and count into :attr:`pool_rebuilds` /
+    :attr:`serial_fallback`; neither changes any result.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
-        super().__init__(jobs if jobs is not None else os.cpu_count() or 1)
+    #: Pool rebuilds attempted before degrading to serial execution.
+    MAX_POOL_REBUILDS = 1
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        super().__init__(jobs if jobs is not None else os.cpu_count() or 1,
+                         retry)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        #: Cumulative count of pools rebuilt after worker crashes.
+        self.pool_rebuilds = 0
+        #: True once any partition had to fall back to serial execution.
+        self.serial_fallback = False
+
+    def _make_pool(self, workers: int) -> _ProcessPool:
+        """Pool factory (separate so tests can substitute doubles)."""
+        return _ProcessPool(max_workers=workers)
+
+    def _run_local(
+        self,
+        partition: Partition,
+        engine: str,
+        fast: bool,
+        max_blocks: Optional[int],
+    ) -> List[SweepRun]:
+        return run_partition(partition.workload, partition.configs,
+                             engine, fast, max_blocks, self.retry)
 
     def run(
         self,
@@ -158,29 +279,76 @@ class ParallelExecutor(Executor):
         per_partition: List[Optional[List[SweepRun]]] = (
             [None] * len(partitions)
         )
+        local = [i for i in range(len(partitions))
+                 if i not in set(shippable)]
         if workers > 1:
-            with _ProcessPool(max_workers=workers) as pool:
-                futures = {
-                    i: pool.submit(
-                        run_partition, partitions[i].workload,
-                        partitions[i].configs, engine, fast, max_blocks,
-                    )
-                    for i in shippable
-                }
-                # Local (unpicklable) partitions overlap with the pool.
-                for i, partition in enumerate(partitions):
-                    if i not in futures:
-                        per_partition[i] = run_partition(
-                            partition.workload, partition.configs,
-                            engine, fast, max_blocks,
+            pending = list(shippable)
+            rebuilds = 0
+            first_pass = True
+            while pending:
+                pool = self._make_pool(min(workers, len(pending)))
+                broken = False
+                try:
+                    futures = {
+                        i: pool.submit(
+                            run_partition, partitions[i].workload,
+                            partitions[i].configs, engine, fast,
+                            max_blocks, self.retry,
                         )
-                for i, future in futures.items():
-                    per_partition[i] = future.result()
+                        for i in pending
+                    }
+                    if first_pass:
+                        # Local (unpicklable) partitions overlap with
+                        # the pool.
+                        first_pass = False
+                        for i in local:
+                            per_partition[i] = self._run_local(
+                                partitions[i], engine, fast, max_blocks
+                            )
+                    for i in list(pending):
+                        try:
+                            per_partition[i] = futures[i].result()
+                            pending.remove(i)
+                        except BrokenExecutor:
+                            broken = True
+                            break  # the pool is dead; stop draining
+                except BrokenExecutor:
+                    broken = True  # pool died during submission
+                except BaseException:
+                    # KeyboardInterrupt (and anything else unexpected):
+                    # kill outstanding work so no worker process leaks,
+                    # then let the exception propagate.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                pool.shutdown(wait=not broken, cancel_futures=broken)
+                if not pending:
+                    break
+                if not broken:  # pragma: no cover - defensive
+                    continue
+                rebuilds += 1
+                if rebuilds > self.MAX_POOL_REBUILDS:
+                    _log.warning(
+                        "worker pool broke again after a rebuild; "
+                        "falling back to serial execution for %d "
+                        "partition(s)", len(pending),
+                    )
+                    self.serial_fallback = True
+                    for i in list(pending):
+                        per_partition[i] = self._run_local(
+                            partitions[i], engine, fast, max_blocks
+                        )
+                        pending.remove(i)
+                    break
+                self.pool_rebuilds += 1
+                _log.warning(
+                    "worker pool broke (a worker process died); "
+                    "rebuilding it once for %d unfinished partition(s)",
+                    len(pending),
+                )
         else:
             for i, partition in enumerate(partitions):
-                per_partition[i] = run_partition(
-                    partition.workload, partition.configs,
-                    engine, fast, max_blocks,
+                per_partition[i] = self._run_local(
+                    partition, engine, fast, max_blocks
                 )
         runs: List[SweepRun] = []
         for result in per_partition:
@@ -192,6 +360,7 @@ def make_executor(
     name_or_executor: Union[str, Executor, None],
     jobs: Optional[int] = None,
     store: Union[str, bool, None] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Executor:
     """Resolve an executor argument: an instance passes through, a name
     is instantiated from the registry, ``None`` picks serial for one job
@@ -203,11 +372,19 @@ def make_executor(
     :class:`~repro.store.executor.CachingExecutor`; ``None`` consults
     ``$REPRO_STORE_DIR`` (the opt-in used by the E1-E12 benchmarks);
     ``False`` disables caching outright.
+
+    ``retry`` is the :class:`~repro.faults.retry.RetryPolicy` failing
+    cells run under (None = fail fast, the zero-cost default).  It
+    applies to registry-built executors; an explicit instance keeps
+    whatever policy it was constructed with.
     """
     # Late imports: repro.store.executor imports this module.
     from ..store.cas import resolve_store_dir
     from ..store.executor import CachingExecutor
 
+    kwargs = {"jobs": jobs}
+    if retry is not None:
+        kwargs["retry"] = retry
     resolved = resolve_store_dir(store)
     if isinstance(name_or_executor, Executor):
         # An explicitly requested store still applies to instance
@@ -228,10 +405,10 @@ def make_executor(
             name_or_executor = (
                 "parallel" if jobs and jobs > 1 else "serial"
             )
-            return EXECUTORS.create(name_or_executor, jobs=jobs)
-        return CachingExecutor(jobs=jobs, store=resolved)
+            return EXECUTORS.create(name_or_executor, **kwargs)
+        return CachingExecutor(store=resolved, **kwargs)
     if resolved is not None:
         return CachingExecutor(
-            jobs=jobs, store=resolved, inner=name_or_executor
+            store=resolved, inner=name_or_executor, **kwargs
         )
-    return EXECUTORS.create(name_or_executor, jobs=jobs)
+    return EXECUTORS.create(name_or_executor, **kwargs)

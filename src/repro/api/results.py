@@ -269,6 +269,11 @@ class ResultSet:
             }
             if run.error is not None:
                 cell["error"] = run.error
+                if run.attempts:
+                    # Retry provenance rides only on exhausted error
+                    # rows (recovered cells must stay byte-identical to
+                    # untroubled ones — the chaos suite's invariant).
+                    cell["attempts"] = [dict(a) for a in run.attempts]
             cells.append(cell)
         out: Dict[str, Any] = {
             "schema": SCHEMA_ID,

@@ -12,8 +12,9 @@ Subcommands (all built on the :mod:`repro.api` facade):
   (``--spec FILE``), optionally in parallel (``--jobs N``), and write
   the versioned result JSON/CSV;
 * ``store``    — the persistent experiment store: ``stats``, ``gc``,
-  ``clear``, and ``smoke`` (run a tiny sweep twice and assert the
-  second run is served from cache);
+  ``clear``, ``verify`` (fsck: checksum every blob, quarantine corrupt
+  ones and prune dangling refs with ``--repair``), and ``smoke`` (run
+  a tiny sweep twice and assert the second run is served from cache);
 * ``bench``    — performance microbenchmarks, written to
   ``BENCH_core.json`` (codec round-trips vs. the seed implementation
   and the machine- vs. trace-engine E1 sweep).
@@ -27,7 +28,9 @@ with a single workload this changes nothing).
 ``sweep``/``compare``/``exp`` accept ``--store [DIR]`` (serve repeated
 cells from the persistent store; DIR defaults to ``$REPRO_STORE_DIR``
 or ``~/.cache/repro-store``) and ``--no-cache`` (force recomputation
-even when ``$REPRO_STORE_DIR`` is set).
+even when ``$REPRO_STORE_DIR`` is set), plus ``--retries N`` /
+``--cell-timeout SECONDS`` (re-attempt failing cells with backoff and
+bound each attempt's wall clock; see ``docs/operations.md``).
 
 Any cell that raises or fails oracle validation is listed on stderr
 and makes the command exit nonzero — failed cells are never silently
@@ -140,6 +143,32 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
              "default: serial)",
     )
     _add_cache_arguments(parser)
+    _add_retry_arguments(parser)
+
+
+def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-attempt each failing cell up to N times with "
+             "exponential backoff (default: 0, fail fast)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for one cell; a cell that "
+             "exceeds it fails (and is retried under --retries)",
+    )
+
+
+def _retry_from_args(args: argparse.Namespace):
+    """The api-layer retry policy, or None (the zero-cost default)."""
+    retries = getattr(args, "retries", 0) or 0
+    timeout = getattr(args, "cell_timeout", None)
+    if retries == 0 and timeout is None:
+        return None
+    if retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        raise SystemExit(2)
+    return api.RetryPolicy(attempts=retries + 1, timeout=timeout)
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -294,7 +323,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ]
     result = api.run_grid(
         [workload], configs, engine=args.engine, jobs=args.jobs,
-        store=_store_from_args(args),
+        store=_store_from_args(args), retry=_retry_from_args(args),
     )
     energy = EnergyModel.for_hierarchy(args.hierarchy)
     table = Table(
@@ -340,7 +369,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
     result = api.run_grid(
         [workload], configs, engine=args.engine, jobs=args.jobs,
-        store=_store_from_args(args),
+        store=_store_from_args(args), retry=_retry_from_args(args),
     )
     table = Table(
         f"design space for '{workload.name}' ({args.codec}, "
@@ -385,7 +414,7 @@ def cmd_exp(args: argparse.Namespace) -> int:
     executor = args.executor
     result = api.run_experiment(
         spec, executor=executor, jobs=args.jobs,
-        store=_store_from_args(args),
+        store=_store_from_args(args), retry=_retry_from_args(args),
     )
 
     table = Table(
@@ -515,8 +544,32 @@ def cmd_store(args: argparse.Namespace) -> int:
         print(f"  blobs:     {stats['blobs']} "
               f"({stats['blob_bytes']} bytes)")
         print(f"  usage:     {stats['hits']} hits, "
-              f"{stats['misses']} misses, {stats['puts']} puts")
+              f"{stats['misses']} misses, {stats['puts']} puts, "
+              f"{stats['corrupt_misses']} corrupt miss(es)")
         return 0
+    if args.action == "verify":
+        report = store.verify(repair=args.repair)
+        mode = "repair" if args.repair else "check"
+        print(f"verify ({mode}) @ {store.root}")
+        print(f"  objects:   {report['objects']} checked, "
+              f"{report['corrupt_objects']} corrupt, "
+              f"{report['quarantined']} quarantined")
+        print(f"  refs:      {report['refs']} checked, "
+              f"{report['dangling_refs']} dangling, "
+              f"{report['pruned_refs']} pruned")
+        print(f"  tmp files: {report['tmp_files']} stale, "
+              f"{report['removed_tmp_files']} removed")
+        if report["ok"]:
+            print("store verify OK")
+            return 0
+        if args.repair:
+            print("store repaired: corrupt blobs moved to quarantine/, "
+                  "dangling refs pruned; the next cached sweep "
+                  "recomputes exactly those cells")
+            return 0
+        print("error: store has integrity problems; re-run with "
+              "--repair to quarantine and prune them", file=sys.stderr)
+        return 1
     if args.action == "gc":
         report = store.gc()
         print(f"gc @ {store.root}: removed "
@@ -758,22 +811,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the flat result CSV here",
     )
     _add_cache_arguments(exp_parser)
+    _add_retry_arguments(exp_parser)
     exp_parser.set_defaults(func=cmd_exp)
 
     store_parser = subparsers.add_parser(
         "store", help="manage the persistent experiment store"
     )
     store_parser.add_argument(
-        "action", choices=("stats", "gc", "clear", "smoke"),
+        "action", choices=("stats", "gc", "clear", "verify", "smoke"),
         help="stats: inventory + hit counters; gc: drop unreferenced "
-             "blobs; clear: empty the store; smoke: run a tiny sweep "
-             "twice and assert the second run is served from cache",
+             "blobs; clear: empty the store; verify: fsck every blob "
+             "and ref (nonzero exit on damage unless --repair); "
+             "smoke: run a tiny sweep twice and assert the second run "
+             "is served from cache",
     )
     store_parser.add_argument(
         "--store", default=None, metavar="DIR",
         help="store directory (default: $REPRO_STORE_DIR or "
              "~/.cache/repro-store; smoke defaults to a throwaway "
              "temp dir)",
+    )
+    store_parser.add_argument(
+        "--repair", action="store_true",
+        help="with verify: quarantine corrupt blobs (to quarantine/), "
+             "prune dangling refs and stale temp files",
     )
     store_parser.set_defaults(func=cmd_store)
 

@@ -1,0 +1,86 @@
+"""``repro.faults`` — fault injection, retry policies, chaos tooling.
+
+The robustness layer of the experiment platform, in three parts:
+
+* **Fault plans** (:mod:`repro.faults.plan`): declarative, seeded
+  descriptions of which failures to inject (worker crash, cell hang,
+  transient exception, corrupted/truncated CAS object, torn write) and
+  where.  Plans round-trip through JSON and the ``REPRO_FAULTS``
+  environment variable, so chaos scenarios are reproducible and reach
+  forked worker processes.
+* **Runtime hooks** (:mod:`repro.faults.runtime`): the injection sites
+  (``cell``, ``cas.read``, ``cas.write``) the executor and store call
+  into, per-cell SIGALRM deadlines, and the fault taxonomy
+  (:class:`TransientFault`, :class:`WorkerCrashError`,
+  :class:`CellTimeoutError`).
+* **Retry policies** (:mod:`repro.faults.retry`): bounded attempts with
+  deterministic exponential backoff and per-cell timeouts, wired into
+  every executor via ``repro.api.make_executor(retry=...)`` and the CLI
+  ``--retries`` / ``--cell-timeout`` flags.
+
+The invariant the chaos test suite (``tests/chaos/``) pins: a sweep
+run under an active fault plan either recovers every cell (and its
+``ResultSet.canonical_json`` is byte-identical to a fault-free run) or
+degrades each exhausted cell into a structured error row carrying its
+attempt provenance — it never aborts, and it never caches a failure.
+
+This package is intentionally outside the store's ``code_version``
+fingerprint roots: injected faults and retries change *how* results
+are computed, never *what* they are.
+"""
+
+from __future__ import annotations
+
+from .plan import (
+    FAULTS_ENV,
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    plan_from_env,
+)
+from .retry import RetryPolicy
+from .runtime import (
+    CellTimeoutError,
+    FaultError,
+    TransientFault,
+    WorkerCrashError,
+    cell_deadline,
+    cell_guard,
+    classify_fault,
+    corrupt_bytes,
+    current_plan,
+    current_policy,
+    in_subprocess,
+    install_plan,
+    maybe_fire,
+    retry_scope,
+    truncate_bytes,
+)
+
+__all__ = [
+    "CellTimeoutError",
+    "FAULTS_ENV",
+    "FaultError",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "KINDS",
+    "RetryPolicy",
+    "SITES",
+    "TransientFault",
+    "WorkerCrashError",
+    "cell_deadline",
+    "cell_guard",
+    "classify_fault",
+    "corrupt_bytes",
+    "current_plan",
+    "current_policy",
+    "in_subprocess",
+    "install_plan",
+    "maybe_fire",
+    "plan_from_env",
+    "retry_scope",
+    "truncate_bytes",
+]

@@ -1,0 +1,73 @@
+"""Retry policies: bounded attempts, deterministic backoff, timeouts.
+
+A :class:`RetryPolicy` travels with an executor (pickled into worker
+processes alongside ``run_partition``) and governs two things:
+
+* the per-cell wall-clock **timeout** each simulation attempt runs
+  under (enforced by :func:`repro.faults.runtime.cell_deadline`);
+* how many **attempts** a failing cell gets, and how long to back off
+  between them.
+
+Backoff is exponential with deterministic jitter: the jitter fraction
+hashes the policy seed with the cell key and attempt number, so a
+chaos run's retry schedule — like its fault schedule — is reproducible.
+The default policy (``attempts=1``, no timeout) is the fail-fast seed
+behaviour and costs nothing on the fault-free path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing sweep cell is retried.
+
+    ``attempts`` is the total tries per cell (1 = no retry);
+    ``timeout`` the per-attempt wall-clock budget in seconds (None =
+    unbounded).  Between attempt ``n`` and ``n+1`` the executor sleeps
+    ``min(backoff_base * backoff_factor**(n-1), backoff_max)`` scaled
+    by ``1 + jitter * h`` where ``h`` in [0, 1) is a deterministic hash
+    of (seed, cell key, attempt).
+    """
+
+    attempts: int = 1
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to sleep before ``attempt`` (the 2nd, 3rd, ...)."""
+        if attempt <= 1:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        raw = min(raw, self.backoff_max)
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 + self.jitter * fraction)

@@ -1,0 +1,275 @@
+"""Process-local fault injection and per-cell deadlines.
+
+The injection hooks are three cheap calls sprinkled through the
+executor/store stack:
+
+* :func:`maybe_fire` at a named **site** with a stable **key** — the
+  single entry point every hook uses.  With no plan installed it is a
+  dict lookup and a ``None`` return, so the fault-free path stays
+  effectively free (guarded by the ``chaos_overhead`` benchmark).
+* :func:`cell_guard` wraps one simulation cell: it arms the per-cell
+  wall-clock deadline of the active :class:`~repro.faults.retry.RetryPolicy`
+  and fires ``site="cell"`` faults (transient raise, hang, worker
+  crash).
+* :func:`retry_scope` installs the policy for the duration of one
+  partition run (workers enter it inside ``run_partition``).
+
+Effects by kind:
+
+* ``transient`` — raises :class:`TransientFault` (an ordinary
+  ``Exception``: the sweep layer turns it into an error row, the retry
+  layer recovers it).
+* ``hang`` — sleeps ``rule.seconds``; with a deadline armed the sleep
+  is cut short by :class:`CellTimeoutError`.
+* ``crash`` — returned as ``"crash"`` **only inside a subprocess**
+  (``multiprocessing.parent_process() is not None``); the caller then
+  ``os._exit``\\ s to model a dying worker.  In the main process the
+  rule is inert (it neither fires nor consumes its budget), so a
+  serial fallback after pool breakage completes cleanly.
+* ``corrupt`` / ``torn`` — returned as strings; data-path callers
+  mutate the bytes with :func:`corrupt_bytes` / :func:`truncate_bytes`
+  and let checksum validation catch the damage downstream.
+
+Plans install either explicitly (:func:`install_plan`, which also
+exports ``$REPRO_FAULTS`` so forked worker processes inherit the plan)
+or implicitly from the environment on first use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .plan import FAULTS_ENV, FaultPlan, plan_from_env
+from .retry import RetryPolicy
+
+
+class FaultError(Exception):
+    """Base class of every injected fault."""
+
+
+class TransientFault(FaultError):
+    """An injected transient failure (recoverable by retrying)."""
+
+
+class WorkerCrashError(FaultError):
+    """Stand-in raised where a real worker crash cannot happen."""
+
+
+class CellTimeoutError(Exception):
+    """A simulation cell exceeded its wall-clock deadline.
+
+    Deliberately *not* a :class:`FaultError`: deadlines fire on genuine
+    hangs too, not only injected ones.
+    """
+
+
+#: Exception-class-name -> fault-class tag for attempt provenance.
+_FAULT_CLASSES = {
+    "TransientFault": "transient",
+    "WorkerCrashError": "crash",
+    "CellTimeoutError": "timeout",
+    "BrokenProcessPool": "crash",
+}
+
+
+def classify_fault(message: Optional[str]) -> Optional[str]:
+    """Fault class of an error-row message (``"ExcName: detail"``)."""
+    if not message:
+        return None
+    name = message.split(":", 1)[0].strip()
+    return _FAULT_CLASSES.get(name, "error")
+
+
+def in_subprocess() -> bool:
+    """True when running below another Python process (a pool worker or
+    a ``multiprocessing`` child) — where a hard exit is containable."""
+    return multiprocessing.parent_process() is not None
+
+
+def corrupt_bytes(data: bytes) -> bytes:
+    """Deterministically flip the first byte (corruption simulant)."""
+    if not data:
+        return b"\xff"
+    return bytes([data[0] ^ 0xFF]) + data[1:]
+
+
+def truncate_bytes(data: bytes) -> bytes:
+    """Drop the second half of ``data`` (torn-write simulant)."""
+    return data[: len(data) // 2]
+
+
+# ----------------------------------------------------------------------
+# Active plan
+# ----------------------------------------------------------------------
+
+#: (env raw value, parsed plan) cache so env-installed plans parse once.
+_env_cache: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+#: Explicitly installed plan (wins over the environment).
+_installed: Optional[FaultPlan] = None
+#: Per-rule (matched occurrences, fired count), keyed by plan identity
+#: so counters reset whenever a different plan becomes active.
+_counters: Dict[int, List[List[int]]] = {}
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The active plan: explicitly installed, else from the env."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get(FAULTS_ENV) or None
+    if raw != _env_cache[0]:
+        _env_cache = (raw, plan_from_env() if raw else None)
+        _counters.clear()
+    return _env_cache[1]
+
+
+def _rule_counters(plan: FaultPlan) -> List[List[int]]:
+    state = _counters.get(id(plan))
+    if state is None or len(state) != len(plan.rules):
+        state = [[0, 0] for _ in plan.rules]
+        _counters[id(plan)] = state
+    return state
+
+
+@contextlib.contextmanager
+def install_plan(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Scope ``plan`` as the active fault plan (None = chaos off).
+
+    Also exports ``$REPRO_FAULTS`` so worker processes forked while the
+    scope is open inherit the same plan; both are restored on exit.
+    """
+    global _installed
+    previous = _installed
+    previous_env = os.environ.get(FAULTS_ENV)
+    _installed = plan
+    _counters.pop(id(plan), None)
+    if plan is not None:
+        os.environ[FAULTS_ENV] = plan.to_json()
+    else:
+        os.environ.pop(FAULTS_ENV, None)
+    try:
+        yield
+    finally:
+        _installed = previous
+        _counters.pop(id(plan), None)
+        if previous_env is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = previous_env
+
+
+def maybe_fire(site: str, key: str) -> Optional[str]:
+    """Fire the first matching active rule at ``site``; see module doc.
+
+    Returns the fired kind for data-effect kinds (``"corrupt"``,
+    ``"torn"``, ``"crash"``, ``"hang"``) and raises for ``transient``;
+    returns None when nothing fires.
+    """
+    plan = current_plan()
+    if plan is None:
+        return None
+    counters = _rule_counters(plan)
+    for index, rule in enumerate(plan.rules):
+        if rule.site != site or rule.match not in key:
+            continue
+        if rule.kind == "crash" and not in_subprocess():
+            continue  # inert outside workers; budget not consumed
+        occurrence, fired = counters[index]
+        counters[index][0] = occurrence + 1
+        if rule.times is not None and fired >= rule.times:
+            continue
+        if rule.rate is not None and plan.fraction(
+            index, site, key, occurrence
+        ) >= rule.rate:
+            continue
+        counters[index][1] = fired + 1
+        if rule.kind == "transient":
+            raise TransientFault(
+                f"injected transient fault at {site}:{key}"
+            )
+        if rule.kind == "hang":
+            time.sleep(rule.seconds)
+        return rule.kind
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-cell deadlines and the active retry policy
+# ----------------------------------------------------------------------
+
+_active_policy: Optional[RetryPolicy] = None
+_deadline_armed = False
+
+
+def current_policy() -> Optional[RetryPolicy]:
+    """The retry policy installed by the innermost :func:`retry_scope`."""
+    return _active_policy
+
+
+@contextlib.contextmanager
+def retry_scope(policy: Optional[RetryPolicy]) -> Iterator[None]:
+    """Scope ``policy`` as the active retry/timeout policy."""
+    global _active_policy
+    previous = _active_policy
+    _active_policy = policy
+    try:
+        yield
+    finally:
+        _active_policy = previous
+
+
+@contextlib.contextmanager
+def cell_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`CellTimeoutError` after ``seconds`` of wall clock.
+
+    SIGALRM-based, so it cuts through pure-Python compute loops and
+    ``time.sleep``.  Degrades to a no-op (no enforcement) off the main
+    thread or where SIGALRM is unavailable; nested deadlines keep the
+    outermost timer.
+    """
+    global _deadline_armed
+    if (
+        seconds is None
+        or _deadline_armed
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(
+            f"cell exceeded its {seconds:g}s wall-clock deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    _deadline_armed = True
+    try:
+        yield
+    finally:
+        _deadline_armed = False
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@contextlib.contextmanager
+def cell_guard(workload_name: str, label: str) -> Iterator[None]:
+    """Injection point + deadline around one simulation cell.
+
+    The cell key is ``"<workload>:<label>"`` (what fault-rule ``match``
+    filters see).  A ``crash`` rule hard-exits here — only ever inside
+    a worker process — to model a dying worker mid-cell.
+    """
+    policy = _active_policy
+    with cell_deadline(policy.timeout if policy else None):
+        kind = maybe_fire("cell", f"{workload_name}:{label}")
+        if kind == "crash":
+            os._exit(70)  # noqa: SLF001 - modelling an abrupt worker death
+        yield

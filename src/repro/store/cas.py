@@ -25,12 +25,23 @@ Concurrency model — safe for many processes sharing one store:
   lock-less filesystem degrades to in-memory counters, never an error);
 * readers treat any missing/corrupt file as a cache miss, so a reader
   can never crash on a half-visible write.
+
+Integrity: every blob read is checksummed end-to-end against its
+content address; a mismatch is logged once, counted (the
+``corrupt_misses`` stat), and served as a miss — never silently and
+never a crash.  :meth:`ExperimentStore.verify` is the offline fsck
+(``repro.cli store verify [--repair]``): it quarantines corrupt blobs
+and prunes dangling refs so the next sweep recomputes exactly the
+damaged cells.  The ``cas.read``/``cas.write`` fault-injection sites
+(:mod:`repro.faults`) let the chaos suite exercise all of this
+deterministically.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import shutil
@@ -43,7 +54,13 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from ..faults.runtime import corrupt_bytes, maybe_fire, truncate_bytes
 from .fingerprint import canonical_dumps, code_version
+
+_log = logging.getLogger("repro.store")
+
+#: Usage counters tracked in ``stats.json``.
+_USAGE_KEYS = ("hits", "misses", "puts", "corrupt_misses")
 
 #: Bumped on any backwards-incompatible change to the on-disk layout.
 STORE_FORMAT_VERSION = 1
@@ -83,11 +100,25 @@ def resolve_store_dir(
 
 
 def _atomic_write(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` via a unique temp file + atomic rename."""
+    """Write ``data`` to ``path`` via a unique temp file + atomic rename.
+
+    The ``cas.write`` fault site fires here (chaos only): ``torn``
+    lands truncated content (still atomically — the damage surfaces at
+    checksum time, like a real torn page would); ``crash`` kills the
+    process mid-write, leaving a ``.tmp`` orphan and no visible ref —
+    exactly the wreckage gc and ``store verify`` must tolerate.
+    """
+    kind = maybe_fire("cas.write", os.path.basename(path))
+    if kind == "torn":
+        data = truncate_bytes(data)
     directory = os.path.dirname(path)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
+            if kind == "crash":
+                handle.write(data[: len(data) // 2])
+                handle.flush()
+                os._exit(70)  # died mid-write: orphan .tmp, no rename
             handle.write(data)
         os.replace(tmp, path)
     except BaseException:
@@ -142,6 +173,9 @@ class ExperimentStore:
             # marker, so a mistyped --store can neither spawn an empty
             # store nor misreport an unrelated directory as one.
             raise StoreError(f"no experiment store at {self.root}")
+        #: Corrupt blobs this instance served as misses (the persistent
+        #: total accumulates into the ``corrupt_misses`` stat).
+        self.corrupt_misses = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -167,12 +201,37 @@ class ExperimentStore:
         return digest
 
     def get_blob(self, digest: str) -> Optional[bytes]:
-        """The blob bytes, or None when absent."""
+        """The blob bytes, or None when absent or corrupt.
+
+        Every read is validated end-to-end against the content address;
+        a mismatch (bit rot, a torn write that somehow landed, or an
+        injected ``cas.read`` fault) is logged, counted into the
+        ``corrupt_misses`` stat, and served as a miss — the caller
+        recomputes, never crashes, and never consumes damaged data.
+        """
         try:
             with open(self._fan_path("objects", digest), "rb") as handle:
-                return handle.read()
+                data = handle.read()
         except OSError:
             return None
+        kind = maybe_fire("cas.read", digest)
+        if kind == "corrupt":
+            data = corrupt_bytes(data)
+        elif kind == "torn":
+            data = truncate_bytes(data)
+        if hashlib.sha256(data).hexdigest() != digest:
+            self._note_corrupt_blob(digest)
+            return None
+        return data
+
+    def _note_corrupt_blob(self, digest: str) -> None:
+        self.corrupt_misses += 1
+        self.add_usage(corrupt_misses=1)
+        _log.warning(
+            "store %s: blob %s failed its checksum; serving a miss "
+            "(run 'repro.cli store verify --repair' to quarantine it)",
+            self.root, digest[:12],
+        )
 
     def _put_ref(self, kind: str, name: str, digest: str) -> None:
         path = self._fan_path(kind, name)
@@ -188,12 +247,9 @@ class ExperimentStore:
             return None
         if not digest:
             return None
-        data = self.get_blob(digest)
-        if data is None:
-            return None
-        if hashlib.sha256(data).hexdigest() != digest:
-            return None  # corrupt blob: treat as a miss, never crash
-        return data
+        # get_blob checksums the content against the address, so a
+        # corrupt blob is a (counted, logged) miss, never a crash.
+        return self.get_blob(digest)
 
     # ------------------------------------------------------------------
     # Cell records
@@ -289,13 +345,13 @@ class ExperimentStore:
     # ------------------------------------------------------------------
 
     def add_usage(self, hits: int = 0, misses: int = 0,
-                  puts: int = 0) -> None:
-        """Accumulate hit/miss/put counters into ``stats.json``.
+                  puts: int = 0, corrupt_misses: int = 0) -> None:
+        """Accumulate usage counters into ``stats.json``.
 
         Best-effort: lock or write failures degrade silently (the store
         must keep working on read-only media).
         """
-        if not (hits or misses or puts):
+        if not (hits or misses or puts or corrupt_misses):
             return
         lock_path = os.path.join(self.root, "stats.lock")
         stats_path = os.path.join(self.root, "stats.json")
@@ -306,20 +362,20 @@ class ExperimentStore:
         try:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_EX)
-            current = {"hits": 0, "misses": 0, "puts": 0}
+            current = dict.fromkeys(_USAGE_KEYS, 0)
             try:
                 with open(stats_path, "r", encoding="utf-8") as handle:
                     loaded = json.load(handle)
                 if isinstance(loaded, dict):
                     current.update({
-                        k: int(loaded.get(k, 0))
-                        for k in ("hits", "misses", "puts")
+                        k: int(loaded.get(k, 0)) for k in _USAGE_KEYS
                     })
             except (OSError, ValueError, TypeError):
                 pass
             current["hits"] += hits
             current["misses"] += misses
             current["puts"] += puts
+            current["corrupt_misses"] += corrupt_misses
             _atomic_write(
                 stats_path,
                 (canonical_dumps(current) + "\n").encode("utf-8"),
@@ -363,15 +419,14 @@ class ExperimentStore:
                 blob_bytes += os.path.getsize(path)
             except OSError:
                 pass
-        usage = {"hits": 0, "misses": 0, "puts": 0}
+        usage = dict.fromkeys(_USAGE_KEYS, 0)
         try:
             with open(os.path.join(self.root, "stats.json"), "r",
                       encoding="utf-8") as handle:
                 loaded = json.load(handle)
             if isinstance(loaded, dict):
                 usage.update({
-                    k: int(loaded.get(k, 0))
-                    for k in ("hits", "misses", "puts")
+                    k: int(loaded.get(k, 0)) for k in _USAGE_KEYS
                 })
         except (OSError, ValueError, TypeError):
             pass
@@ -397,6 +452,105 @@ class ExperimentStore:
                 if digest:
                     referenced.add(digest)
         return referenced
+
+    def verify(self, repair: bool = False) -> Dict[str, Any]:
+        """Fsck the store: checksum every blob, cross-check every ref.
+
+        Pass one walks ``objects/`` re-hashing each blob against its
+        name; with ``repair=True`` a corrupt blob moves (atomically)
+        into ``quarantine/<digest>`` for post-mortem instead of being
+        deleted.  Pass two walks the ``cells/`` and ``artifacts/`` refs:
+        a ref that is unreadable, empty, or points at a missing or
+        corrupt blob is *dangling* — with ``repair=True`` it is pruned,
+        so the next cached sweep recomputes exactly those cells.  Stale
+        ``.tmp`` orphans (older than the gc grace period, e.g. left by
+        a writer that died mid-write) are counted and, on repair,
+        removed.
+
+        Returns the count report; ``"ok"`` is True when nothing was
+        found wrong (an already-repaired store verifies clean).
+        """
+        report: Dict[str, Any] = {
+            "objects": 0, "corrupt_objects": 0, "quarantined": 0,
+            "refs": 0, "dangling_refs": 0, "pruned_refs": 0,
+            "tmp_files": 0, "removed_tmp_files": 0,
+        }
+        corrupt: set = set()
+        stale_before = time.time() - self.GC_TMP_GRACE_SECONDS
+        base = os.path.join(self.root, "objects")
+        if os.path.isdir(base):
+            for fan in sorted(os.listdir(base)):
+                fan_dir = os.path.join(base, fan)
+                if not os.path.isdir(fan_dir):
+                    continue
+                for name in sorted(os.listdir(fan_dir)):
+                    path = os.path.join(fan_dir, name)
+                    if name.endswith(".tmp"):
+                        try:
+                            if os.path.getmtime(path) >= stale_before:
+                                continue  # possibly in flight
+                        except OSError:
+                            continue
+                        report["tmp_files"] += 1
+                        if repair:
+                            try:
+                                os.unlink(path)
+                                report["removed_tmp_files"] += 1
+                            except OSError:
+                                pass
+                        continue
+                    report["objects"] += 1
+                    try:
+                        with open(path, "rb") as handle:
+                            digest = hashlib.sha256(
+                                handle.read()
+                            ).hexdigest()
+                    except OSError:
+                        digest = None
+                    if digest == name:
+                        continue
+                    report["corrupt_objects"] += 1
+                    corrupt.add(name)
+                    if repair:
+                        quarantine = os.path.join(
+                            self.root, "quarantine", name
+                        )
+                        try:
+                            os.makedirs(os.path.dirname(quarantine),
+                                        exist_ok=True)
+                            os.replace(path, quarantine)
+                            report["quarantined"] += 1
+                        except OSError:
+                            pass
+        for kind in ("cells", "artifacts"):
+            for path in self._walk_refs(kind):
+                report["refs"] += 1
+                try:
+                    with open(path, "r", encoding="ascii") as handle:
+                        digest = handle.read().strip()
+                except (OSError, UnicodeDecodeError):
+                    digest = ""
+                if (
+                    digest
+                    and digest not in corrupt
+                    and os.path.exists(
+                        self._fan_path("objects", digest)
+                    )
+                ):
+                    continue
+                report["dangling_refs"] += 1
+                if repair:
+                    try:
+                        os.unlink(path)
+                        report["pruned_refs"] += 1
+                    except OSError:
+                        pass
+        report["ok"] = not (
+            report["corrupt_objects"]
+            or report["dangling_refs"]
+            or report["tmp_files"]
+        )
+        return report
 
     #: gc leaves ``.tmp`` files younger than this alone: they may be a
     #: concurrent writer's in-flight atomic write, and unlinking one

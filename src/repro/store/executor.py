@@ -96,8 +96,9 @@ class CachingExecutor(Executor):
         jobs: Optional[int] = None,
         store: Union[ExperimentStore, str, None] = None,
         inner: Union[str, Executor, None] = None,
+        retry=None,
     ) -> None:
-        super().__init__(jobs)
+        super().__init__(jobs, retry)
         if isinstance(store, ExperimentStore):
             self.store = store
         else:
@@ -106,7 +107,8 @@ class CachingExecutor(Executor):
             inner = "parallel" if (jobs or 1) > 1 else "serial"
         self.inner = (
             inner if isinstance(inner, Executor)
-            else make_executor(inner, jobs=jobs, store=False)
+            else make_executor(inner, jobs=jobs, store=False,
+                               retry=retry)
         )
         if isinstance(self.inner, CachingExecutor):
             raise ValueError(

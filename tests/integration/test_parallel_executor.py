@@ -120,3 +120,116 @@ class TestUnregisteredWorkloadFallback:
             serial.to_json(include_execution=False)
         assert [r.workload for r in parallel.runs] == \
             ["fib", "fib", "synth-local", "synth-local"]
+
+
+class _FakePool:
+    """A stand-in process pool: runs submissions inline, records its
+    shutdown arguments, and can simulate a broken pool (every future
+    failing the way a died worker does)."""
+
+    def __init__(self, fail=False):
+        self.fail = fail
+        self.shutdown_calls = []
+
+    def submit(self, fn, *args, **kwargs):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        future = Future()
+        if self.fail:
+            future.set_exception(BrokenProcessPool("a worker died"))
+        else:
+            future.set_result(fn(*args, **kwargs))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append(
+            {"wait": wait, "cancel_futures": cancel_futures}
+        )
+
+
+def _grid():
+    configs = [
+        SimulationConfig(decompression="ondemand", k_compress=k,
+                         trace_events=False, record_trace=False)
+        for k in (1, 4)
+    ]
+    return [api.Partition(workload=name, configs=list(configs))
+            for name in ("fib", "gcd")]
+
+
+class TestGracefulDegradation:
+    def _serial_reference(self):
+        return [
+            (r.workload, r.config.strategy_name, r.result.summary())
+            for r in api.SerialExecutor().run(_grid())
+        ]
+
+    def test_broken_pool_is_rebuilt_once(self, caplog):
+        import logging
+
+        pools = []
+        executor = api.ParallelExecutor(jobs=2)
+        original = executor._make_pool
+
+        def make_pool(workers):
+            if not pools:
+                pools.append(_FakePool(fail=True))
+            else:
+                pools.append(_FakePool(fail=False))
+            return pools[-1]
+
+        executor._make_pool = make_pool
+        del original
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.api.executor"):
+            runs = executor.run(_grid())
+        assert len(pools) == 2
+        assert executor.pool_rebuilds == 1
+        assert executor.serial_fallback is False
+        # The broken pool was torn down with its futures cancelled.
+        assert pools[0].shutdown_calls == \
+            [{"wait": False, "cancel_futures": True}]
+        assert any("rebuilding" in r.message for r in caplog.records)
+        # Degradation is invisible in the results.
+        got = [(r.workload, r.config.strategy_name, r.result.summary())
+               for r in runs]
+        assert got == self._serial_reference()
+
+    def test_double_breakage_falls_back_to_serial(self, caplog):
+        import logging
+
+        executor = api.ParallelExecutor(jobs=2)
+        executor._make_pool = lambda workers: _FakePool(fail=True)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.api.executor"):
+            runs = executor.run(_grid())
+        assert executor.pool_rebuilds == 1
+        assert executor.serial_fallback is True
+        assert any("falling back to serial" in r.message
+                   for r in caplog.records)
+        got = [(r.workload, r.config.strategy_name, r.result.summary())
+               for r in runs]
+        assert got == self._serial_reference()
+
+
+class TestKeyboardInterruptCleanup:
+    def test_interrupt_cancels_outstanding_futures(self):
+        # Ctrl-C mid-drain must shut the pool down with
+        # cancel_futures=True (no leaked workers grinding on) and still
+        # propagate the interrupt.
+        from concurrent.futures import Future
+
+        class _InterruptingPool(_FakePool):
+            def submit(self, fn, *args, **kwargs):
+                future = Future()
+                future.set_exception(KeyboardInterrupt())
+                return future
+
+        pool = _InterruptingPool()
+        executor = api.ParallelExecutor(jobs=2)
+        executor._make_pool = lambda workers: pool
+        with pytest.raises(KeyboardInterrupt):
+            executor.run(_grid())
+        assert pool.shutdown_calls == \
+            [{"wait": False, "cancel_futures": True}]

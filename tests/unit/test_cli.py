@@ -416,3 +416,83 @@ class TestStoreCLI:
         out = capsys.readouterr().out
         assert "store smoke OK" in out
         assert "byte-identical: yes" in out
+
+
+class TestRetryFlags:
+    def test_sweep_accepts_retry_flags(self, capsys):
+        assert main(["sweep", "gcd", "--k-values", "1",
+                     "--retries", "2", "--cell-timeout", "30"]) == 0
+        assert "k-edge sweep" in capsys.readouterr().out
+
+    def test_retries_recover_an_injected_fault(self, capsys,
+                                               monkeypatch):
+        from repro.faults import FAULTS_ENV, FaultPlan, FaultRule
+
+        plan = FaultPlan(rules=(
+            FaultRule(kind="transient", site="cell", match="gcd",
+                      times=1),
+        ))
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        # Without retries the injected fault fails the cell ...
+        assert main(["sweep", "gcd", "--k-values", "1"]) == 1
+        capsys.readouterr()
+        # ... with --retries the same command succeeds.
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        assert main(["sweep", "gcd", "--k-values", "1",
+                     "--retries", "1"]) == 0
+        capsys.readouterr()
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "gcd", "--k-values", "1",
+                  "--retries", "-1"])
+        capsys.readouterr()
+
+
+class TestStoreVerifyCLI:
+    def _corrupt_one(self, store):
+        import os
+
+        base = os.path.join(str(store), "objects")
+        for fan in sorted(os.listdir(base)):
+            fan_dir = os.path.join(base, fan)
+            for name in sorted(os.listdir(fan_dir)):
+                with open(os.path.join(fan_dir, name), "ab") as handle:
+                    handle.write(b"rot")
+                return
+        raise AssertionError("no objects to corrupt")
+
+    def test_verify_clean_store(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "gcd", "--k-values", "1",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", str(store)]) == 0
+        assert "store verify OK" in capsys.readouterr().out
+
+    def test_verify_reports_damage_then_repairs(self, capsys,
+                                                tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "gcd", "--k-values", "1,4",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        self._corrupt_one(store)
+        assert main(["store", "verify", "--store", str(store)]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert "--repair" in captured.err
+        assert main(["store", "verify", "--repair",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert (store / "quarantine").is_dir()
+        assert main(["store", "verify", "--store", str(store)]) == 0
+        assert "store verify OK" in capsys.readouterr().out
+
+    def test_stats_prints_corrupt_misses(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "gcd", "--k-values", "1",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        assert "corrupt miss(es)" in capsys.readouterr().out

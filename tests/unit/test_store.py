@@ -341,3 +341,131 @@ class TestSharedModelDigest:
 
         with pytest.raises(CodecError, match="trained"):
             get_codec("shared-dict").model_digest()
+
+
+class TestBlobIntegrity:
+    """Corrupt blobs are counted, logged misses — never silent, never
+    a crash (the PR-6 regression for the old silent ``return None``)."""
+
+    def _corrupt_one_object(self, store):
+        base = os.path.join(store.root, "objects")
+        for fan in sorted(os.listdir(base)):
+            fan_dir = os.path.join(base, fan)
+            for name in sorted(os.listdir(fan_dir)):
+                path = os.path.join(fan_dir, name)
+                with open(path, "r+b") as handle:
+                    first = handle.read(1)
+                    handle.seek(0)
+                    handle.write(bytes([first[0] ^ 0xFF]))
+                return name
+        raise AssertionError("store has no objects")
+
+    def test_corrupt_blob_counts_and_warns(self, tmp_path, caplog):
+        import logging
+
+        store = ExperimentStore(tmp_path / "store")
+        digest = store.put_blob(b"payload")
+        self._corrupt_one_object(store)
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.get_blob(digest) is None  # a miss, no crash
+        assert store.corrupt_misses == 1
+        assert store.stats()["corrupt_misses"] == 1
+        messages = [r.message for r in caplog.records]
+        assert any("failed its checksum" in m for m in messages)
+        assert any(digest[:12] in m for m in messages)
+
+    def test_corrupt_cell_record_is_a_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("f" * 64, {"v": 1})
+        self._corrupt_one_object(store)
+        assert store.get_cell("f" * 64) is None
+        assert store.corrupt_misses == 1
+
+    def test_old_stats_files_load_without_the_new_key(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        with open(os.path.join(store.root, "stats.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump({"hits": 3, "misses": 1, "puts": 1}, handle)
+        stats = store.stats()
+        assert stats["hits"] == 3
+        assert stats["corrupt_misses"] == 0
+        store.add_usage(corrupt_misses=2)
+        assert store.stats()["corrupt_misses"] == 2
+
+
+class TestVerify:
+    def _paths(self, store, kind):
+        base = os.path.join(store.root, kind)
+        out = []
+        for fan in sorted(os.listdir(base)):
+            fan_dir = os.path.join(base, fan)
+            if os.path.isdir(fan_dir):
+                out.extend(
+                    os.path.join(fan_dir, name)
+                    for name in sorted(os.listdir(fan_dir))
+                )
+        return out
+
+    def test_clean_store_verifies_ok(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("a" * 64, {"v": 1})
+        report = store.verify()
+        assert report["ok"]
+        assert report["objects"] == 1
+        assert report["refs"] == 1
+        assert report["corrupt_objects"] == 0
+
+    def test_corrupt_blob_quarantined_and_ref_pruned(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("a" * 64, {"v": 1})
+        store.put_cell("b" * 64, {"v": 2})
+        target = self._paths(store, "objects")[0]
+        digest = os.path.basename(target)
+        with open(target, "ab") as handle:
+            handle.write(b"rot")
+        check = store.verify()
+        assert not check["ok"]
+        assert check["corrupt_objects"] == 1
+        assert check["quarantined"] == 0  # check mode never mutates
+        assert os.path.exists(target)
+        repair = store.verify(repair=True)
+        assert repair["quarantined"] == 1
+        assert repair["pruned_refs"] == 1
+        assert not os.path.exists(target)
+        assert os.path.exists(
+            os.path.join(store.root, "quarantine", digest)
+        )
+        # The untouched record still reads; the damaged one misses.
+        hits = [store.get_cell("a" * 64), store.get_cell("b" * 64)]
+        assert sorted(h is None for h in hits) == [False, True]
+        assert store.verify()["ok"]
+
+    def test_dangling_ref_detected_and_pruned(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        store.put_cell("a" * 64, {"v": 1})
+        os.unlink(self._paths(store, "objects")[0])
+        check = store.verify()
+        assert not check["ok"]
+        assert check["dangling_refs"] == 1
+        repair = store.verify(repair=True)
+        assert repair["pruned_refs"] == 1
+        assert store.verify()["ok"]
+        assert not store.has_cell("a" * 64)
+
+    def test_stale_tmp_files_removed_on_repair(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store")
+        fan_dir = os.path.join(store.root, "objects", "zz")
+        os.makedirs(fan_dir)
+        stale = os.path.join(fan_dir, "orphan.tmp")
+        with open(stale, "wb") as handle:
+            handle.write(b"half")
+        old = time.time() - store.GC_TMP_GRACE_SECONDS - 10
+        os.utime(stale, (old, old))
+        fresh = os.path.join(fan_dir, "inflight.tmp")
+        with open(fresh, "wb") as handle:
+            handle.write(b"half")
+        report = store.verify(repair=True)
+        assert report["tmp_files"] == 1
+        assert report["removed_tmp_files"] == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)  # possibly in flight: left alone

@@ -7,7 +7,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke experiments examples store-smoke \
-	chaos docs verify
+	serve-smoke chaos docs verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +59,16 @@ docs:
 store-smoke:
 	$(PYTHON) -m repro store smoke
 
+# Boot a real sweep-service subprocess against a throwaway store:
+# /healthz goes green, a submitted spec's /result is byte-identical
+# to a local run_experiment on the same store, SIGTERM drains
+# gracefully leaving a resumable journal (a second boot still dedups).
+# Then the load harness proves the cached fast path sustains >= 1000
+# requests/s.
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke
+	$(PYTHON) benchmarks/perf/load_service.py --smoke
+
 # Seeded fault-injection scenarios (tests/chaos/): sweeps under
 # injected worker crashes, hangs, transient faults and store
 # corruption must recover byte-identical results or degrade into
@@ -66,8 +76,8 @@ store-smoke:
 chaos:
 	$(PYTHON) -m pytest tests/chaos -q
 
-verify: lint test bench-smoke examples docs store-smoke chaos
+verify: lint test bench-smoke examples docs store-smoke serve-smoke chaos
 	@echo "verify OK: lint clean, tier-1 tests green, fast-path" \
 		"output matches seed, examples run, docs in sync, store" \
-		"serves repeat sweeps from cache, chaos suite survives" \
-		"injected faults"
+		"serves repeat sweeps from cache, sweep service round-trips" \
+		"and drains cleanly, chaos suite survives injected faults"

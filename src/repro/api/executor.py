@@ -52,6 +52,7 @@ from ..analysis.sweep import SweepRun, run_one_safe, sweep
 from ..core.config import SimulationConfig
 from ..faults.retry import RetryPolicy
 from ..faults.runtime import classify_fault, retry_scope
+from ..log import kv
 from ..registry import Registry
 from ..workloads.suite import Workload, get_workload
 
@@ -327,11 +328,11 @@ class ParallelExecutor(Executor):
                     continue
                 rebuilds += 1
                 if rebuilds > self.MAX_POOL_REBUILDS:
-                    _log.warning(
-                        "worker pool broke again after a rebuild; "
-                        "falling back to serial execution for %d "
-                        "partition(s)", len(pending),
-                    )
+                    _log.warning(kv(
+                        "executor.serial_fallback",
+                        reason="pool_broke_after_rebuild",
+                        pending_partitions=len(pending),
+                    ))
                     self.serial_fallback = True
                     for i in list(pending):
                         per_partition[i] = self._run_local(
@@ -340,11 +341,11 @@ class ParallelExecutor(Executor):
                         pending.remove(i)
                     break
                 self.pool_rebuilds += 1
-                _log.warning(
-                    "worker pool broke (a worker process died); "
-                    "rebuilding it once for %d unfinished partition(s)",
-                    len(pending),
-                )
+                _log.warning(kv(
+                    "executor.pool_rebuild",
+                    reason="worker_died",
+                    pending_partitions=len(pending),
+                ))
         else:
             for i, partition in enumerate(partitions):
                 per_partition[i] = self._run_local(

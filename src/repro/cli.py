@@ -17,7 +17,13 @@ Subcommands (all built on the :mod:`repro.api` facade):
   a tiny sweep twice and assert the second run is served from cache);
 * ``bench``    — performance microbenchmarks, written to
   ``BENCH_core.json`` (codec round-trips vs. the seed implementation
-  and the machine- vs. trace-engine E1 sweep).
+  and the machine- vs. trace-engine E1 sweep);
+* ``serve``    — the long-running sweep service (``repro.service``):
+  a JSON-over-HTTP job queue with store-backed per-cell dedup, SSE
+  progress events, ``/metrics``, graceful drain and a resumable job
+  journal; ``--smoke`` boots a throwaway server, round-trips a spec
+  and asserts byte-equality with a local run (the ``make serve-smoke``
+  gate).
 
 ``run``/``sweep``/``compare`` accept ``--hierarchy PRESET`` (the
 memory-hierarchy model: ``flat`` is the seed-equivalent default;
@@ -538,9 +544,18 @@ def cmd_store(args: argparse.Namespace) -> int:
         return 2
     if args.action == "stats":
         stats = store.stats()
+        if getattr(args, "json", False):
+            # Machine-readable: the exact dict the service's
+            # GET /metrics embeds under "store" (tested for
+            # agreement), so scripts never scrape the human text.
+            import json as json_module
+
+            print(json_module.dumps(stats, indent=2, sort_keys=True))
+            return 0
         print(f"store @ {stats['root']} (format v{stats['format']})")
         print(f"  cells:     {stats['cells']}")
         print(f"  artifacts: {stats['artifacts']}")
+        print(f"  jobs:      {stats['jobs']}")
         print(f"  blobs:     {stats['blobs']} "
               f"({stats['blob_bytes']} bytes)")
         print(f"  usage:     {stats['hits']} hits, "
@@ -603,6 +618,192 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("BENCH FAILED: fast-path output diverged from the seed "
               "implementation", file=sys.stderr)
         return 1
+    return 0
+
+
+#: The serve-smoke experiment: tiny, two workloads, trace engine.
+_SERVE_SMOKE_SPEC = {
+    "name": "serve-smoke",
+    "workloads": ["fib", "gcd"],
+    "base": {"codec": "shared-dict", "decompression": "ondemand"},
+    "axes": {"grid": {"k_compress": [1, 2, "inf"]}},
+    "engine": "trace",
+}
+
+
+def _cmd_serve_smoke(args: argparse.Namespace) -> int:
+    """Boot a real server subprocess, round-trip a spec, drain it.
+
+    The ``make serve-smoke`` / CI gate, asserting the service's core
+    contracts end to end against a *separate process* (the in-process
+    ``ServerThread`` path is covered by the test suite):
+
+    1. the server boots and ``/healthz`` goes green;
+    2. a submitted spec completes and its ``/result`` body is
+       byte-identical to a local ``run_experiment`` on the same store;
+    3. resubmitting dedups onto the finished job;
+    4. SIGTERM drains gracefully (exit 0) and leaves a resumable
+       journal — a second boot on the same store still dedups the spec.
+    """
+    import json
+    import os
+    import shutil
+    import signal as signal_module
+    import socket
+    import subprocess
+    import tempfile
+    import time
+
+    from .service import ServiceClient, ServiceClientError
+
+    temp = None
+    if args.store is None:
+        temp = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+        root = temp
+    else:
+        root = _store_root(args)
+
+    def free_port() -> int:
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def boot(port: int) -> subprocess.Popen:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--host", "127.0.0.1", "--port", str(port),
+             "--store", root, "--workers", "2"],
+        )
+
+    def wait_healthy(client: ServiceClient, proc: subprocess.Popen,
+                     timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early (code {proc.returncode})"
+                )
+            try:
+                if client.healthz().get("ok"):
+                    return
+            except (ServiceClientError, OSError):
+                time.sleep(0.1)
+        raise RuntimeError("server never became healthy")
+
+    def drain(proc: subprocess.Popen) -> int:
+        proc.send_signal(signal_module.SIGTERM)
+        try:
+            return proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            return -9
+
+    proc = None
+    try:
+        port = free_port()
+        proc = boot(port)
+        client = ServiceClient("127.0.0.1", port)
+        wait_healthy(client, proc)
+        print(f"serve smoke @ {root} (port {port})")
+
+        reply = client.submit(_SERVE_SMOKE_SPEC)
+        snapshot = client.wait(reply["job"], timeout=120)
+        if snapshot["state"] != "done" or snapshot["error_rows"]:
+            print(f"error: smoke job ended {snapshot['state']} "
+                  f"({snapshot['error_rows'] or snapshot['error']})",
+                  file=sys.stderr)
+            return 1
+        served = client.result(reply["job"])
+        print(f"  job {reply['job']}: {snapshot['progress']['done']}"
+              f"/{snapshot['progress']['total']} cells done")
+
+        local = api.run_experiment(
+            api.ExperimentSpec.from_dict(_SERVE_SMOKE_SPEC), store=root
+        ).canonical_json()
+        if served != local:
+            print("error: served result differs from local "
+                  "run_experiment on the same store", file=sys.stderr)
+            return 1
+        print("  result byte-identical to local run_experiment: yes")
+
+        resubmit = client.submit(_SERVE_SMOKE_SPEC)
+        if not resubmit["deduped"]:
+            print("error: resubmitted spec was not deduplicated",
+                  file=sys.stderr)
+            return 1
+        print("  resubmit deduplicated onto the finished job: yes")
+        client.close()
+
+        code = drain(proc)
+        proc = None
+        if code != 0:
+            print(f"error: server exited {code} on SIGTERM "
+                  f"(graceful drain failed)", file=sys.stderr)
+            return 1
+        journal_dir = os.path.join(root, "service", "jobs")
+        entries = [p for p in os.listdir(journal_dir)
+                   if p.endswith(".json")] \
+            if os.path.isdir(journal_dir) else []
+        if not entries:
+            print("error: no resumable journal left under "
+                  f"{journal_dir}", file=sys.stderr)
+            return 1
+        entry = json.load(open(os.path.join(journal_dir, entries[0])))
+        print(f"  graceful shutdown: exit 0, journal "
+              f"{len(entries)} entry(ies), state={entry['state']}")
+
+        # Second boot on the same store: the journal + store must
+        # still dedup the spec without recomputing anything.
+        port = free_port()
+        proc = boot(port)
+        client = ServiceClient("127.0.0.1", port)
+        wait_healthy(client, proc)
+        again = client.submit(_SERVE_SMOKE_SPEC)
+        if not again["deduped"]:
+            print("error: spec recomputed after restart (journal "
+                  "resume failed)", file=sys.stderr)
+            return 1
+        if client.result(again["job"]) != local:
+            print("error: post-restart result differs", file=sys.stderr)
+            return 1
+        print("  post-restart resubmit deduplicated from the "
+              "journal/store: yes")
+        client.close()
+        code = drain(proc)
+        proc = None
+        if code != 0:
+            print(f"error: second server exited {code} on SIGTERM",
+                  file=sys.stderr)
+            return 1
+        print("serve smoke OK")
+        return 0
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+        if temp is not None:
+            shutil.rmtree(temp, ignore_errors=True)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.smoke:
+        return _cmd_serve_smoke(args)
+    from .service import JobManager, run_server
+
+    try:
+        manager = JobManager(
+            store=_store_root(args),
+            workers=args.workers,
+            inner_jobs=args.jobs or 1,
+            retry=_retry_from_args(args),
+            queue_size=args.queue_size,
+            resume=not args.no_resume,
+        )
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run_server(manager, host=args.host, port=args.port)
     return 0
 
 
@@ -836,7 +1037,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="with verify: quarantine corrupt blobs (to quarantine/), "
              "prune dangling refs and stale temp files",
     )
+    store_parser.add_argument(
+        "--json", action="store_true",
+        help="with stats: print the raw stats dict as JSON (the same "
+             "numbers the service's GET /metrics reports under "
+             "'store')",
+    )
     store_parser.set_defaults(func=cmd_store)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-running sweep service "
+                      "(JSON job API over HTTP; see docs/service.md)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, metavar="PORT",
+        help="listen port; 0 picks a free one (default: 8642)",
+    )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="experiment store backing the service (default: "
+             "$REPRO_STORE_DIR or ~/.cache/repro-store; --smoke "
+             "defaults to a throwaway temp dir)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job worker threads (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker *processes* per job for cell execution "
+             "(default: in-thread serial)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="bounded job queue depth; a full queue replies 429 "
+             "(default: 64)",
+    )
+    serve_parser.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore the job journal from previous runs instead of "
+             "re-enqueueing unfinished jobs at boot",
+    )
+    serve_parser.add_argument(
+        "--smoke", action="store_true",
+        help="boot a throwaway server subprocess, round-trip a spec, "
+             "assert byte-equality with a local run and a graceful "
+             "SIGTERM drain (the `make serve-smoke` / CI gate)",
+    )
+    _add_retry_arguments(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
 
     docs_parser = subparsers.add_parser(
         "docs", help="generate docs/cli.md from the argparse tree"

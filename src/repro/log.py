@@ -1,0 +1,80 @@
+"""Structured ``key=value`` log lines.
+
+The degradation paths of the store and executor stacks (checksum
+misses, broken worker pools) and the sweep service all log events that
+operators and tests want to *parse*, not grep for prose.  :func:`kv`
+renders one event as a single stable line::
+
+    event=store.corrupt_blob store=/tmp/s blob=ab12cd34ef56 action=miss
+
+and :func:`parse_kv` inverts it.  Rules:
+
+* ``event`` always comes first; the remaining fields keep the keyword
+  order of the call site, so lines diff cleanly;
+* values are rendered as bare tokens when they contain no whitespace,
+  quotes, or ``=``; anything else is double-quoted with ``\\`` escapes;
+* ``None`` renders as ``null``, booleans as ``true``/``false`` — both
+  parse back as strings (the consumer knows its schema).
+
+This is intentionally not a logging handler or formatter: callers keep
+their normal stdlib loggers and pass ``kv(...)`` as the message, so log
+routing, levels, and capture (``caplog``) all keep working.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+_BARE_TOKEN = re.compile(r"^[^\s\"=]+$")
+
+_PAIR = re.compile(
+    r"""(?P<key>[A-Za-z0-9_.\-]+)=          # key=
+        (?:"(?P<quoted>(?:[^"\\]|\\.)*)"    # "quoted value"
+          |(?P<bare>[^\s"=]*))              # or bare token
+    """,
+    re.VERBOSE,
+)
+
+
+def _render_value(value: Any) -> str:
+    if value is None:
+        text = "null"
+    elif value is True:
+        text = "true"
+    elif value is False:
+        text = "false"
+    else:
+        text = str(value)
+    if text and _BARE_TOKEN.match(text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def kv(event: str, **fields: Any) -> str:
+    """One ``key=value`` log line for ``event`` (see module docstring)."""
+    parts = [f"event={_render_value(event)}"]
+    parts.extend(
+        f"{key}={_render_value(value)}" for key, value in fields.items()
+    )
+    return " ".join(parts)
+
+
+def parse_kv(line: str) -> Dict[str, str]:
+    """Parse one :func:`kv` line back into a dict of strings.
+
+    Tolerant of leading/trailing prose (e.g. a logging prefix): only
+    well-formed ``key=value`` pairs are extracted.  Quoted values are
+    unescaped; ``null``/``true``/``false`` come back as those literal
+    strings.
+    """
+    out: Dict[str, str] = {}
+    for match in _PAIR.finditer(line):
+        quoted = match.group("quoted")
+        if quoted is not None:
+            value = quoted.replace('\\"', '"').replace("\\\\", "\\")
+        else:
+            value = match.group("bare")
+        out[match.group("key")] = value
+    return out

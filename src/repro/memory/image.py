@@ -17,6 +17,7 @@ measure the fragmentation difference.
 from __future__ import annotations
 
 import abc
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -85,6 +86,10 @@ class ArtifactCache:
         self._entries: "OrderedDict[Tuple[int, str], Tuple[weakref.ref, CompressionArtifacts]]" = (
             OrderedDict()
         )
+        # The process-wide instance is shared by the sweep service's
+        # worker threads; OrderedDict reordering is not atomic, so all
+        # mutation goes through this lock.
+        self._mutex = threading.Lock()
 
     @property
     def capacity(self) -> int:
@@ -96,8 +101,9 @@ class ArtifactCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -107,15 +113,16 @@ class ArtifactCache:
     ) -> Optional[CompressionArtifacts]:
         """The cached artifacts, refreshed as most-recently used."""
         key = (id(cfg), codec_name)
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        ref, artifacts = entry
-        if ref() is not cfg:  # id reused by a different (new) CFG
-            del self._entries[key]
-            return None
-        self._entries.move_to_end(key)
-        return artifacts
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            ref, artifacts = entry
+            if ref() is not cfg:  # id reused by a different (new) CFG
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return artifacts
 
     def put(
         self,
@@ -129,14 +136,16 @@ class ArtifactCache:
         def _drop(_ref: weakref.ref, key=key) -> None:
             self._entries.pop(key, None)
 
-        self._entries[key] = (weakref.ref(cfg, _drop), artifacts)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = (weakref.ref(cfg, _drop), artifacts)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry (long-lived processes reclaim memory now)."""
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
 
 #: The process-wide shared-artifact memo (see :class:`ArtifactCache`).

@@ -1,0 +1,54 @@
+"""repro.service — a long-running sweep server over the experiment store.
+
+The service turns the one-shot ``repro.cli exp`` pipeline into a
+daemon: specs are POSTed as JSON, queued onto a bounded job queue,
+executed by a worker pool through the *same* caching executor stack
+the CLI uses, and their canonical ResultSets served back
+byte-identical to a local :func:`repro.api.run_experiment` on the
+same store.  Overlapping grids deduplicate per-cell via store
+fingerprints (plus an in-process claim map so two concurrent jobs
+never compute the same cell twice), whole jobs deduplicate via
+:func:`~repro.service.jobs.job_key`, and a journal under
+``<store>/service/jobs`` makes queued work survive restarts.
+
+Layers:
+
+- :mod:`repro.service.jobs` — :class:`JobManager`: queue, workers,
+  dedup, journal (no networking).
+- :mod:`repro.service.app` — :class:`SweepServer`: stdlib asyncio
+  HTTP/1.1 + SSE; :func:`run_server` (CLI) and :class:`ServerThread`
+  (in-process, for tests/benchmarks).
+- :mod:`repro.service.client` — :class:`ServiceClient`: stdlib
+  keep-alive client.
+- :mod:`repro.service.metrics` — latency histograms behind
+  ``GET /metrics``.
+
+Start one with ``python -m repro.cli serve --store runs/store``; see
+``docs/service.md`` for the operator guide.
+"""
+
+from .app import ServerThread, SweepServer, run_server
+from .client import ServiceClient, ServiceClientError
+from .jobs import (
+    Job,
+    JobManager,
+    QueueFullError,
+    ServiceError,
+    job_key,
+)
+from .metrics import LatencyHistogram, ServiceMetrics
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "LatencyHistogram",
+    "QueueFullError",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceMetrics",
+    "SweepServer",
+    "job_key",
+    "run_server",
+]

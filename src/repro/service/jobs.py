@@ -1,0 +1,656 @@
+"""Job queue and execution core of the sweep service.
+
+A *job* is one submitted :class:`~repro.api.spec.ExperimentSpec`.  The
+:class:`JobManager` owns a bounded queue feeding a pool of worker
+threads; each worker executes a job cell-by-cell against the shared
+:class:`~repro.store.cas.ExperimentStore`:
+
+* **planning** reuses :func:`repro.store.executor.plan_cells` — the
+  exact fingerprint path the :class:`CachingExecutor` uses — so the
+  service and the CLI always agree on cell identity;
+* **store hits** are reattached with
+  :func:`~repro.store.records.record_to_run`, byte-identical to a
+  fresh run;
+* **misses** go through an in-process *claim map*: the first job to
+  reach a missing fingerprint claims it and computes; any concurrent
+  job wanting the same cell waits on the claimant's event and then
+  reads the record the claimant stored — every cell is computed at
+  most once per process, and (via the CAS write) at most once per
+  store across processes racing on distinct cells;
+* **claimed cells** run through the ordinary executor stack
+  (:func:`~repro.api.executor.make_executor` + ``RetryPolicy``), so
+  retries, per-cell deadlines, and fault injection behave exactly as
+  they do under ``repro.cli exp``.
+
+Whole jobs dedup too: :func:`job_key` fingerprints the result-affecting
+spec fields plus the code/catalog versions, and a completed job's
+canonical result JSON is stored under that key
+(:meth:`ExperimentStore.put_job_result`), so resubmitting a finished
+spec is answered from the store at byte-equality without touching a
+single cell — the fast path the ``bench_service_cached_rps`` benchmark
+measures.
+
+Every job state transition is journalled atomically under
+``<store>/service/jobs/<id>.json``.  Graceful shutdown stops pulling
+from the queue and drains only in-flight jobs; on the next boot the
+journal is replayed — finished jobs re-join the dedup index, unfinished
+ones re-enter the queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import logging
+import os
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..api.executor import Partition, make_executor, run_partition
+from ..api.results import ResultSet
+from ..api.spec import ExperimentSpec, SpecError
+from ..faults.retry import RetryPolicy
+from ..log import kv
+from ..registry import catalog_signature
+from ..store.cas import ExperimentStore, StoreError, _atomic_write
+from ..store.executor import artifact_scope, plan_cells
+from ..store.fingerprint import canonical_dumps, code_version
+from ..store.records import is_cacheable, record_to_run, run_to_record
+
+_log = logging.getLogger("repro.service")
+
+#: Journal schema version (bumped on incompatible entry changes).
+JOURNAL_VERSION = 1
+
+#: How long a job waits for another job's in-flight cell before
+#: recomputing it locally (the claimant may have died or errored).
+CELL_WAIT_TIMEOUT_S = 300.0
+
+
+class ServiceError(RuntimeError):
+    """Raised for invalid service operations."""
+
+
+class QueueFullError(ServiceError):
+    """Raised when a submission does not fit the bounded job queue."""
+
+
+def job_key(spec: ExperimentSpec) -> str:
+    """Content key of one job: the result-affecting spec fields only.
+
+    Executor choice, job count, and the spec's own ``store`` field do
+    not change results, so they are excluded — two clients asking for
+    the same grid with different parallelism share one key.  The code
+    version and component catalog are folded in for the same reason
+    they are part of cell fingerprints: a semantic change must miss.
+    """
+    payload = {
+        "kind": "service-job",
+        "code": code_version(),
+        "catalog": catalog_signature(),
+        "salt": os.environ.get("REPRO_STORE_SALT", ""),
+        "name": spec.name,
+        "workloads": spec.workload_names(),
+        "base": dict(spec.base),
+        "axes": [dict(override) for override in spec.axes],
+        "engine": spec.engine,
+        "fast": spec.fast,
+        "max_blocks": spec.max_blocks,
+    }
+    return hashlib.sha256(
+        canonical_dumps(payload).encode("utf-8")
+    ).hexdigest()
+
+
+def _dedupable(job: "Job") -> bool:
+    """Whether a later identical submission may be served by ``job``."""
+    if job.state == "failed":
+        return False
+    return not (job.state == "done" and job.error_rows)
+
+
+class Job:
+    """One submitted experiment and its observable lifecycle.
+
+    States: ``queued`` → ``running`` → ``done`` (also reached by error
+    rows — a cell failure is a structured result, not a job failure) or
+    ``failed`` (the spec could not be executed at all).  All mutation
+    happens under the job's lock; readers take snapshots.
+    """
+
+    def __init__(self, job_id: str, spec: ExperimentSpec, key: str,
+                 seq: int) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.seq = seq
+        self.state = "queued"
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.error: Optional[str] = None
+        self.result_text: Optional[str] = None
+        self.deduped = False
+        total = len(spec.workload_names()) * len(spec.configs())
+        self.progress: Dict[str, int] = {
+            "total": total, "done": 0, "hits": 0, "computed": 0,
+            "shared": 0, "errors": 0, "retried": 0,
+        }
+        self.error_rows: List[Dict[str, Any]] = []
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    # -- mutation (worker side) ---------------------------------------
+
+    def emit(self, cell: int, workload: str, label: str, source: str,
+             ok: bool, error: Optional[str]) -> None:
+        """Append one per-cell completion event (SSE consumers poll)."""
+        with self._lock:
+            self.progress["done"] += 1
+            self.progress[
+                "hits" if source == "cache"
+                else "shared" if source == "shared"
+                else "computed"
+            ] += 1
+            if not ok:
+                self.progress["errors"] += 1
+                self.error_rows.append({
+                    "cell": cell, "workload": workload, "label": label,
+                    "error": error,
+                })
+            self.events.append({
+                "seq": len(self.events), "cell": cell,
+                "workload": workload, "label": label, "source": source,
+                "ok": ok, "error": error,
+            })
+
+    def note_retries(self, count: int) -> None:
+        with self._lock:
+            self.progress["retried"] += count
+
+    # -- observation (HTTP side) --------------------------------------
+
+    def events_since(self, cursor: int) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self.events[cursor:])
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` status document."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "key": self.key,
+                "state": self.state,
+                "deduped": self.deduped,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "progress": dict(self.progress),
+                "error_rows": [dict(r) for r in self.error_rows],
+                "error": self.error,
+            }
+
+    def to_journal(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "version": JOURNAL_VERSION,
+                "id": self.id,
+                "seq": self.seq,
+                "key": self.key,
+                "state": self.state,
+                "spec": self.spec.to_dict(),
+                "created": self.created,
+                "finished": self.finished,
+                "progress": dict(self.progress),
+                "error_rows": [dict(r) for r in self.error_rows],
+                "error": self.error,
+            }
+
+
+class JobManager:
+    """Bounded job queue + worker threads over one experiment store."""
+
+    def __init__(
+        self,
+        store: Union[ExperimentStore, str, None] = None,
+        workers: int = 2,
+        inner_jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        queue_size: int = 64,
+        resume: bool = True,
+        cell_wait_timeout: float = CELL_WAIT_TIMEOUT_S,
+    ) -> None:
+        if isinstance(store, ExperimentStore):
+            self.store = store
+        else:
+            self.store = ExperimentStore(store)
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.inner_jobs = max(1, inner_jobs)
+        self.retry = retry
+        self.cell_wait_timeout = cell_wait_timeout
+        self._queue: "queue.Queue[str]" = queue.Queue(maxsize=queue_size)
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, str] = {}
+        self._inflight: Dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._seq = itertools.count(1)
+        # The store serves compressed-image artifacts to every job for
+        # the manager's whole lifetime (restored on shutdown).
+        self._artifacts = artifact_scope(self.store)
+        self._artifacts.__enter__()
+        if resume:
+            self._resume_journal()
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-service-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission / lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def journal_dir(self) -> str:
+        return os.path.join(self.store.root, "service", "jobs")
+
+    def submit(self, spec: Union[ExperimentSpec, Dict[str, Any]]
+               ) -> Tuple[Job, bool]:
+        """Queue ``spec``; returns ``(job, deduped)``.
+
+        A spec whose :func:`job_key` matches a queued, running, or
+        cleanly completed job returns that job instead of queueing a
+        duplicate — the second ``(job, True)`` element flags the dedup
+        hit.  Failed jobs and done jobs with error rows never dedup
+        (mirroring the store's errors-are-never-cached rule), so a
+        resubmission after a transient fault recomputes exactly the
+        failed cells.
+        """
+        if not isinstance(spec, ExperimentSpec):
+            spec = ExperimentSpec.from_dict(spec)
+        key = job_key(spec)
+        with self._lock:
+            if self._stopping:
+                raise ServiceError("service is shutting down")
+            existing_id = self._by_key.get(key)
+            if existing_id is not None:
+                existing = self._jobs.get(existing_id)
+                if existing is not None and _dedupable(existing):
+                    return existing, True
+            seq = next(self._seq)
+            job = Job(f"j{seq}-{key[:8]}", spec, key, seq)
+            self._jobs[job.id] = job
+            self._by_key[key] = job.id
+        self._write_journal(job)
+        try:
+            self._queue.put_nowait(job.id)
+        except queue.Full:
+            with self._lock:
+                self._jobs.pop(job.id, None)
+                if self._by_key.get(key) == job.id:
+                    del self._by_key[key]
+            self._drop_journal(job.id)
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} queued)"
+            ) from None
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def job_result(self, job: Job) -> Optional[str]:
+        """A done job's canonical result JSON (store-backed)."""
+        if job.result_text is not None:
+            return job.result_text
+        data = self.store.get_job_result(job.key)
+        if data is None:
+            return None
+        text = data.decode("utf-8")
+        job.result_text = text
+        return text
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def job_counts(self) -> Dict[str, int]:
+        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Journal / resume
+    # ------------------------------------------------------------------
+
+    def _journal_path(self, job_id: str) -> str:
+        return os.path.join(self.journal_dir, f"{job_id}.json")
+
+    def _write_journal(self, job: Job) -> None:
+        os.makedirs(self.journal_dir, exist_ok=True)
+        entry = job.to_journal()
+        try:
+            _atomic_write(
+                self._journal_path(job.id),
+                (canonical_dumps(entry) + "\n").encode("utf-8"),
+            )
+        except OSError:
+            pass  # a read-only store degrades resume, never submission
+
+    def _drop_journal(self, job_id: str) -> None:
+        try:
+            os.unlink(self._journal_path(job_id))
+        except OSError:
+            pass
+
+    def _resume_journal(self) -> None:
+        """Replay journalled jobs: done ones re-join the dedup index,
+        unfinished ones re-enter the queue."""
+        if not os.path.isdir(self.journal_dir):
+            return
+        entries: List[Dict[str, Any]] = []
+        for name in sorted(os.listdir(self.journal_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.journal_dir, name), "r",
+                          encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (
+                isinstance(entry, dict)
+                and entry.get("version") == JOURNAL_VERSION
+            ):
+                entries.append(entry)
+        entries.sort(key=lambda e: e.get("seq", 0))
+        top_seq = 0
+        for entry in entries:
+            try:
+                spec = ExperimentSpec.from_dict(entry["spec"])
+            except (KeyError, SpecError):
+                _log.warning(kv(
+                    "service.journal_skip", id=entry.get("id"),
+                    reason="spec_no_longer_loads",
+                ))
+                continue
+            key = entry.get("key") or job_key(spec)
+            seq = int(entry.get("seq", 0))
+            top_seq = max(top_seq, seq)
+            job = Job(entry["id"], spec, key, seq)
+            job.created = entry.get("created", job.created)
+            if entry.get("state") == "done":
+                job.state = "done"
+                job.finished = entry.get("finished")
+                job.progress.update(entry.get("progress", {}))
+                job.error_rows = list(entry.get("error_rows", []))
+            else:
+                job.state = "queued"
+            self._jobs[job.id] = job
+            if _dedupable(job):
+                self._by_key.setdefault(key, job.id)
+            if job.state == "queued":
+                try:
+                    self._queue.put_nowait(job.id)
+                except queue.Full:
+                    _log.warning(kv(
+                        "service.journal_skip", id=job.id,
+                        reason="queue_full_on_resume",
+                    ))
+                    self._jobs.pop(job.id, None)
+        self._seq = itertools.count(top_seq + 1)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
+            if self._stopping:
+                # Drain only in-flight work: this job stays journalled
+                # as queued and resumes on the next boot.
+                return
+            job = self.get(job_id)
+            if job is None or job.state != "queued":
+                continue
+            try:
+                self._execute(job)
+            except BaseException as exc:  # noqa: BLE001 - worker survives
+                with job._lock:
+                    job.state = "failed"
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished = time.time()
+                self._write_journal(job)
+                _log.warning(kv(
+                    "service.job_failed", id=job.id,
+                    error=f"{type(exc).__name__}: {exc}",
+                ))
+
+    def _execute(self, job: Job) -> None:
+        spec = job.spec
+        with job._lock:
+            job.state = "running"
+            job.started = time.time()
+        self._write_journal(job)
+
+        partitions = [
+            Partition(workload=name, configs=configs)
+            for name, configs in spec.partitions()
+        ]
+        plan = plan_cells(partitions, engine=spec.engine, fast=spec.fast,
+                          max_blocks=spec.max_blocks)
+
+        # Resolve every cell: store hit, my claim, or someone else's.
+        # rows[i][j] = [fingerprint, original config, effective config,
+        #              source, run-or-None]
+        rows: List[List[List[Any]]] = []
+        my_claims: List[str] = []
+        hits = computed = shared = puts = 0
+        cell_index = 0
+        cell_ids: List[List[int]] = []
+        try:
+            for partition, plan_row in zip(partitions, plan):
+                row: List[List[Any]] = []
+                ids: List[int] = []
+                for config, (fingerprint, cell_config) in zip(
+                    partition.configs, plan_row
+                ):
+                    ids.append(cell_index)
+                    cell_index += 1
+                    run = self._load_cell(fingerprint, cell_config)
+                    if run is not None:
+                        row.append([fingerprint, config, cell_config,
+                                    "cache", run])
+                        continue
+                    claimed = False
+                    with self._lock:
+                        if fingerprint not in self._inflight:
+                            self._inflight[fingerprint] = (
+                                threading.Event()
+                            )
+                            claimed = True
+                    if claimed:
+                        my_claims.append(fingerprint)
+                        # Close the claim/release race: the previous
+                        # claimant may have stored the record between
+                        # our read and our claim.
+                        run = self._load_cell(fingerprint, cell_config)
+                        if run is not None:
+                            self._release_claim(fingerprint)
+                            my_claims.remove(fingerprint)
+                            row.append([fingerprint, config, cell_config,
+                                        "cache", run])
+                            continue
+                        row.append([fingerprint, config, cell_config,
+                                    "claimed", None])
+                    else:
+                        row.append([fingerprint, config, cell_config,
+                                    "shared", None])
+                rows.append(row)
+                cell_ids.append(ids)
+
+            # Emit plan-time hits in cell order before computing.
+            for partition, row, ids in zip(partitions, rows, cell_ids):
+                for cell, (fp, config, cell_config, source, run) in zip(
+                    ids, row
+                ):
+                    if source == "cache":
+                        hits += 1
+                        job.emit(cell, partition.workload_name,
+                                 cell_config.strategy_name, "cache",
+                                 run.ok, run.error)
+
+            # Compute my claimed cells through the normal executor
+            # stack, workload-major so the fast paths apply.
+            claimed_parts: List[Partition] = []
+            claimed_cells: List[List[List[Any]]] = []
+            claimed_ids: List[List[int]] = []
+            for partition, row, ids in zip(partitions, rows, cell_ids):
+                configs = [c[1] for c in row if c[3] == "claimed"]
+                if not configs:
+                    continue
+                claimed_parts.append(
+                    Partition(workload=partition.workload,
+                              configs=configs)
+                )
+                claimed_cells.append(
+                    [c for c in row if c[3] == "claimed"]
+                )
+                claimed_ids.append([
+                    cell for cell, c in zip(ids, row)
+                    if c[3] == "claimed"
+                ])
+            if claimed_parts:
+                inner = make_executor(
+                    None, jobs=self.inner_jobs, store=False,
+                    retry=self.retry,
+                )
+                flat = inner.run(
+                    claimed_parts, engine=spec.engine, fast=spec.fast,
+                    max_blocks=spec.max_blocks,
+                )
+                cursor = 0
+                for part, cells, ids in zip(
+                    claimed_parts, claimed_cells, claimed_ids
+                ):
+                    part_runs = flat[cursor:cursor + len(cells)]
+                    cursor += len(cells)
+                    for cell, slot, run in zip(ids, cells, part_runs):
+                        slot[4] = run
+                        computed += 1
+                        if run.attempts:
+                            job.note_retries(max(0, len(run.attempts) - 1))
+                        if is_cacheable(run):
+                            self.store.put_cell(
+                                slot[0], run_to_record(run, slot[0])
+                            )
+                            puts += 1
+                        # Publish before waking waiters, so they hit.
+                        self._release_claim(slot[0])
+                        my_claims.remove(slot[0])
+                        job.emit(cell, part.workload_name,
+                                 slot[2].strategy_name, "computed",
+                                 run.ok, run.error)
+
+            # Wait for cells other jobs claimed; recompute locally if
+            # the claimant errored (errors are never cached) or died.
+            for partition, row, ids in zip(partitions, rows, cell_ids):
+                for cell, slot in zip(ids, row):
+                    if slot[3] != "shared":
+                        continue
+                    fingerprint, config, cell_config = slot[:3]
+                    event = self._inflight.get(fingerprint)
+                    if event is not None:
+                        event.wait(self.cell_wait_timeout)
+                    run = self._load_cell(fingerprint, cell_config)
+                    source = "shared"
+                    if run is None:
+                        run = run_partition(
+                            partition.workload, [config], spec.engine,
+                            spec.fast, spec.max_blocks, self.retry,
+                        )[0]
+                        source = "computed"
+                        computed += 1
+                        if run.attempts:
+                            job.note_retries(max(0, len(run.attempts) - 1))
+                        if is_cacheable(run):
+                            self.store.put_cell(
+                                fingerprint,
+                                run_to_record(run, fingerprint),
+                            )
+                            puts += 1
+                    else:
+                        shared += 1
+                    slot[3], slot[4] = source, run
+                    job.emit(cell, partition.workload_name,
+                             cell_config.strategy_name, source,
+                             run.ok, run.error)
+        finally:
+            for fingerprint in my_claims:
+                self._release_claim(fingerprint)
+
+        runs = [slot[4] for row in rows for slot in row]
+        result = ResultSet(
+            runs, meta={"name": spec.name, "engine": spec.engine},
+        )
+        text = result.canonical_json()
+        self.store.put_job_result(job.key, text)
+        # Shared cells were computed by another job but served to this
+        # one from the store — cache hits from this job's perspective.
+        self.store.add_usage(hits=hits + shared, misses=computed,
+                             puts=puts)
+        with job._lock:
+            job.result_text = text
+            job.state = "done"
+            job.finished = time.time()
+        self._write_journal(job)
+
+    def _load_cell(self, fingerprint: str, cell_config) -> Optional[Any]:
+        record = self.store.get_cell(fingerprint)
+        if record is None:
+            return None
+        try:
+            return record_to_run(record, cell_config)
+        except StoreError:
+            return None  # stale/corrupt record: recompute
+
+    def _release_claim(self, fingerprint: str) -> None:
+        with self._lock:
+            event = self._inflight.pop(fingerprint, None)
+        if event is not None:
+            event.set()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain in-flight jobs, stop the workers, restore providers.
+
+        Queued-but-unstarted jobs stay journalled (state ``queued``)
+        and re-enter the queue when a manager next boots on this store
+        — the resumable-journal half of graceful shutdown.
+        """
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        self._artifacts.__exit__(None, None, None)

@@ -1,0 +1,84 @@
+"""Service-side observability: per-endpoint latency histograms.
+
+Kept deliberately tiny and stdlib-only: fixed millisecond bucket
+bounds, one histogram per endpoint label (``"POST /jobs"``,
+``"GET /jobs/{id}"``, ...), plus response-status counters.  The
+``GET /metrics`` endpoint serialises a snapshot of this next to the
+store's own :meth:`~repro.store.cas.ExperimentStore.stats` — the same
+numbers ``repro.cli store stats --json`` prints, so operators and
+dashboards never see two disagreeing sources.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict
+
+#: Upper bucket bounds in milliseconds (the last bucket is unbounded).
+BUCKET_BOUNDS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+
+
+class LatencyHistogram:
+    """Fixed-bound latency histogram over milliseconds."""
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, ms: float) -> None:
+        self.count += 1
+        self.total_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        for i, bound in enumerate(BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        buckets = {
+            f"<={bound}": self.counts[i]
+            for i, bound in enumerate(BUCKET_BOUNDS_MS)
+        }
+        buckets[f">{BUCKET_BOUNDS_MS[-1]}"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.total_ms / self.count, 3)
+            if self.count else 0.0,
+            "max_ms": round(self.max_ms, 3),
+            "buckets_ms": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Request latency + response status counters, by endpoint label."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._requests: Dict[str, LatencyHistogram] = {}
+        self._statuses: Dict[str, int] = {}
+
+    def observe(self, label: str, ms: float, status: int) -> None:
+        with self._lock:
+            hist = self._requests.get(label)
+            if hist is None:
+                hist = self._requests[label] = LatencyHistogram()
+            hist.observe(ms)
+            key = str(status)
+            self._statuses[key] = self._statuses.get(key, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self.started, 3),
+                "requests": {
+                    label: hist.to_dict()
+                    for label, hist in sorted(self._requests.items())
+                },
+                "responses": dict(sorted(self._statuses.items())),
+            }

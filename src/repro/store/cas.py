@@ -9,6 +9,8 @@ Layout under the store root (default ``~/.cache/repro-store``, or
                              # cell's canonical-JSON result record
     artifacts/ab/<key>       # ref file: blob digest of a pickled
                              # compressed-payload bundle
+    jobs/ab/<key>            # ref file: blob digest of a completed
+                             # service job's canonical result JSON
     stats.json               # cumulative hit/miss/put counters
     stats.lock               # flock target guarding stats.json
 
@@ -55,6 +57,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from ..faults.runtime import corrupt_bytes, maybe_fire, truncate_bytes
+from ..log import kv
 from .fingerprint import canonical_dumps, code_version
 
 _log = logging.getLogger("repro.store")
@@ -151,6 +154,7 @@ class ExperimentStore:
             os.makedirs(os.path.join(self.root, "cells"), exist_ok=True)
             os.makedirs(os.path.join(self.root, "artifacts"),
                         exist_ok=True)
+            os.makedirs(os.path.join(self.root, "jobs"), exist_ok=True)
         if os.path.exists(marker):
             try:
                 with open(marker, "r", encoding="utf-8") as handle:
@@ -227,11 +231,13 @@ class ExperimentStore:
     def _note_corrupt_blob(self, digest: str) -> None:
         self.corrupt_misses += 1
         self.add_usage(corrupt_misses=1)
-        _log.warning(
-            "store %s: blob %s failed its checksum; serving a miss "
-            "(run 'repro.cli store verify --repair' to quarantine it)",
-            self.root, digest[:12],
-        )
+        _log.warning(kv(
+            "store.corrupt_blob",
+            store=self.root,
+            blob=digest[:12],
+            action="miss",
+            hint="repro.cli store verify --repair",
+        ))
 
     def _put_ref(self, kind: str, name: str, digest: str) -> None:
         path = self._fan_path(kind, name)
@@ -280,6 +286,28 @@ class ExperimentStore:
     def has_cell(self, fingerprint: str) -> bool:
         """True when a record exists for ``fingerprint``."""
         return os.path.exists(self._fan_path("cells", fingerprint))
+
+    # ------------------------------------------------------------------
+    # Job results (whole-experiment records, used by repro.service)
+    # ------------------------------------------------------------------
+
+    def put_job_result(self, key: str, data: Union[str, bytes]) -> str:
+        """Store one completed job's canonical result under ``key``.
+
+        ``key`` is the service's job fingerprint (spec + code version +
+        catalog); identical jobs deduplicate onto one blob, so a spec
+        submitted twice is served back byte-identically without
+        touching a single cell.  Returns the blob digest.
+        """
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        digest = self.put_blob(data)
+        self._put_ref("jobs", key, digest)
+        return digest
+
+    def get_job_result(self, key: str) -> Optional[bytes]:
+        """The stored result bytes for job ``key``, or None (a miss)."""
+        return self._get_ref_blob("jobs", key)
 
     # ------------------------------------------------------------------
     # Compressed-image artifact bundles
@@ -411,6 +439,7 @@ class ExperimentStore:
         """Inventory + cumulative usage counters."""
         cells = sum(1 for _ in self._walk_refs("cells"))
         artifacts = sum(1 for _ in self._walk_refs("artifacts"))
+        jobs = sum(1 for _ in self._walk_refs("jobs"))
         blobs = 0
         blob_bytes = 0
         for path in self._walk_refs("objects"):
@@ -435,6 +464,7 @@ class ExperimentStore:
             "format": STORE_FORMAT_VERSION,
             "cells": cells,
             "artifacts": artifacts,
+            "jobs": jobs,
             "blobs": blobs,
             "blob_bytes": blob_bytes,
             **usage,
@@ -442,7 +472,7 @@ class ExperimentStore:
 
     def _referenced_digests(self) -> set:
         referenced = set()
-        for kind in ("cells", "artifacts"):
+        for kind in ("cells", "artifacts", "jobs"):
             for path in self._walk_refs(kind):
                 try:
                     with open(path, "r", encoding="ascii") as handle:
@@ -522,7 +552,7 @@ class ExperimentStore:
                             report["quarantined"] += 1
                         except OSError:
                             pass
-        for kind in ("cells", "artifacts"):
+        for kind in ("cells", "artifacts", "jobs"):
             for path in self._walk_refs(kind):
                 report["refs"] += 1
                 try:
@@ -611,7 +641,7 @@ class ExperimentStore:
                 f"{self.root} is not an experiment store "
                 f"(no format.json marker); refusing to clear it"
             )
-        for kind in ("objects", "cells", "artifacts"):
+        for kind in ("objects", "cells", "artifacts", "jobs"):
             path = os.path.join(self.root, kind)
             shutil.rmtree(path, ignore_errors=True)
             os.makedirs(path, exist_ok=True)

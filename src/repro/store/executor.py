@@ -29,7 +29,7 @@ from ..analysis.sweep import SweepRun, effective_config
 from ..api.executor import EXECUTORS, Executor, Partition, make_executor
 from ..memory.image import set_artifact_provider
 from ..registry import catalog_signature
-from ..workloads.suite import Workload, get_workload
+from ..workloads.suite import get_workload
 from .cas import ExperimentStore, StoreError, resolve_store_dir
 from .fingerprint import cell_fingerprint, workload_digest
 from .records import is_cacheable, record_to_run, run_to_record
@@ -81,6 +81,69 @@ def _install_env_provider() -> None:
 _install_env_provider()
 
 
+def plan_cells(
+    partitions: Sequence[Partition],
+    engine: str = "machine",
+    fast: bool = True,
+    max_blocks: Optional[int] = None,
+    catalog: Optional[str] = None,
+) -> List[List[Tuple[str, object]]]:
+    """Fingerprint every cell of ``partitions``.
+
+    Returns one row per partition, each a list of ``(fingerprint,
+    cell_config)`` pairs in config order, where ``cell_config`` is the
+    engine's *effective* config (fast overrides applied) — the config a
+    cached record must be reattached to so a hit is indistinguishable
+    from a fresh run.  This is the single planning path shared by the
+    :class:`CachingExecutor` and the sweep service's job runner, so
+    both sides of a cache handoff always agree on the key.
+    """
+    if catalog is None:
+        catalog = catalog_signature()
+    rows: List[List[Tuple[str, object]]] = []
+    for partition in partitions:
+        workload = partition.workload
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        workload_id = workload_digest(workload)  # once per program
+        row: List[Tuple[str, object]] = []
+        for config in partition.configs:
+            cell_config = effective_config(config, fast)
+            row.append((
+                cell_fingerprint(
+                    workload, cell_config, engine=engine, fast=fast,
+                    max_blocks=max_blocks,
+                    workload_id=workload_id, catalog=catalog,
+                ),
+                cell_config,
+            ))
+        rows.append(row)
+    return rows
+
+
+@contextlib.contextmanager
+def artifact_scope(store: ExperimentStore):
+    """Expose ``store`` as the compressed-image artifact provider.
+
+    Installed in this process and advertised to (forked) worker
+    processes through ``$REPRO_STORE_ARTIFACTS``; both are restored on
+    exit so caching stays scoped to the caller.
+    """
+    previous_env = os.environ.get(ARTIFACTS_ENV)
+    previous_provider = set_artifact_provider(
+        StoreArtifactProvider(store)
+    )
+    os.environ[ARTIFACTS_ENV] = store.root
+    try:
+        yield
+    finally:
+        set_artifact_provider(previous_provider)
+        if previous_env is None:
+            os.environ.pop(ARTIFACTS_ENV, None)
+        else:
+            os.environ[ARTIFACTS_ENV] = previous_env
+
+
 @EXECUTORS.register("caching")
 class CachingExecutor(Executor):
     """Store-backed executor wrapper (see module docstring).
@@ -129,30 +192,17 @@ class CachingExecutor(Executor):
         max_blocks: Optional[int] = None,
     ) -> List[SweepRun]:
         partitions = list(partitions)
-        catalog = catalog_signature()  # hashed once, not per cell
+        plan = plan_cells(partitions, engine=engine, fast=fast,
+                          max_blocks=max_blocks)
         fingerprints: List[List[str]] = []
         cached: List[List[Optional[SweepRun]]] = []
-        for partition in partitions:
-            workload = partition.workload
-            if isinstance(workload, str):
-                workload = get_workload(workload)
-            workload_id = workload_digest(workload)  # once per program
+        for row in plan:
             row_fps: List[str] = []
             row_runs: List[Optional[SweepRun]] = []
-            for config in partition.configs:
-                # Cells report under the engine's effective config (the
-                # fast overrides applied); fingerprint and reattach
-                # exactly that, so a cache hit is indistinguishable
-                # from a fresh run.
-                cell_config = effective_config(config, fast)
-                fingerprint = cell_fingerprint(
-                    workload, cell_config, engine=engine, fast=fast,
-                    max_blocks=max_blocks,
-                    workload_id=workload_id, catalog=catalog,
-                )
+            for fingerprint, cell_config in row:
                 row_fps.append(fingerprint)
-                run: Optional[SweepRun] = None
                 record = self.store.get_cell(fingerprint)
+                run: Optional[SweepRun] = None
                 if record is not None:
                     try:
                         run = record_to_run(record, cell_config)
@@ -248,27 +298,9 @@ class CachingExecutor(Executor):
                 puts += 1
         return puts
 
-    @contextlib.contextmanager
     def _artifact_store_scope(self):
-        """Artifact sharing while the inner executor runs.
-
-        The provider is installed in this process and advertised to
-        (forked) worker processes via the environment; both are
-        restored afterwards so caching stays scoped to this run.
-        """
-        previous_env = os.environ.get(ARTIFACTS_ENV)
-        previous_provider = set_artifact_provider(
-            StoreArtifactProvider(self.store)
-        )
-        os.environ[ARTIFACTS_ENV] = self.store.root
-        try:
-            yield
-        finally:
-            set_artifact_provider(previous_provider)
-            if previous_env is None:
-                os.environ.pop(ARTIFACTS_ENV, None)
-            else:
-                os.environ[ARTIFACTS_ENV] = previous_env
+        """Artifact sharing while the inner executor runs."""
+        return artifact_scope(self.store)
 
     def __repr__(self) -> str:
         return (

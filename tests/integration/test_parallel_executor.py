@@ -13,6 +13,7 @@ import pytest
 
 from repro import api
 from repro.core import SimulationConfig
+from repro.log import parse_kv
 
 #: The E1 grid: the experiment kernels x the k-edge sweep (trace
 #: engine), exactly as benchmarks/test_e1_kedge_sweep.py runs it.
@@ -190,7 +191,10 @@ class TestGracefulDegradation:
         # The broken pool was torn down with its futures cancelled.
         assert pools[0].shutdown_calls == \
             [{"wait": False, "cancel_futures": True}]
-        assert any("rebuilding" in r.message for r in caplog.records)
+        events = [parse_kv(r.message) for r in caplog.records]
+        assert any(e.get("event") == "executor.pool_rebuild"
+                   and e.get("reason") == "worker_died"
+                   for e in events)
         # Degradation is invisible in the results.
         got = [(r.workload, r.config.strategy_name, r.result.summary())
                for r in runs]
@@ -206,8 +210,9 @@ class TestGracefulDegradation:
             runs = executor.run(_grid())
         assert executor.pool_rebuilds == 1
         assert executor.serial_fallback is True
-        assert any("falling back to serial" in r.message
-                   for r in caplog.records)
+        events = [parse_kv(r.message) for r in caplog.records]
+        assert any(e.get("event") == "executor.serial_fallback"
+                   for e in events)
         got = [(r.workload, r.config.strategy_name, r.result.summary())
                for r in runs]
         assert got == self._serial_reference()

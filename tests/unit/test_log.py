@@ -1,0 +1,46 @@
+"""The structured key=value log helper (`repro.log`)."""
+
+from repro.log import kv, parse_kv
+
+
+class TestKvRender:
+    def test_event_comes_first_and_fields_keep_order(self):
+        line = kv("store.miss", store="/tmp/s", blob="ab12", n=3)
+        assert line == "event=store.miss store=/tmp/s blob=ab12 n=3"
+
+    def test_values_with_spaces_are_quoted(self):
+        line = kv("e", msg="worker process died")
+        assert line == 'event=e msg="worker process died"'
+
+    def test_quotes_and_backslashes_escape(self):
+        line = kv("e", path='C:\\tmp', note='say "hi"')
+        assert parse_kv(line) == {
+            "event": "e", "path": "C:\\tmp", "note": 'say "hi"',
+        }
+
+    def test_none_and_bools_render_as_json_literals(self):
+        line = kv("e", a=None, b=True, c=False)
+        assert line == "event=e a=null b=true c=false"
+
+    def test_empty_string_value_is_quoted(self):
+        assert kv("e", x="") == 'event=e x=""'
+
+    def test_equals_sign_in_value_is_quoted(self):
+        line = kv("e", expr="a=b")
+        assert parse_kv(line)["expr"] == "a=b"
+
+
+class TestKvParse:
+    def test_roundtrip(self):
+        fields = {"store": "/tmp/x y", "blob": "ab", "hint": "run it"}
+        parsed = parse_kv(kv("store.corrupt_blob", **fields))
+        assert parsed.pop("event") == "store.corrupt_blob"
+        assert parsed == fields
+
+    def test_tolerates_surrounding_prose(self):
+        parsed = parse_kv("WARNING repro.store: event=x blob=ab tail")
+        assert parsed["event"] == "x"
+        assert parsed["blob"] == "ab"
+
+    def test_no_pairs_gives_empty_dict(self):
+        assert parse_kv("just some prose") == {}

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.sweep import run_one
 from repro.cfg import build_cfg
 from repro.core import SimulationConfig
+from repro.log import parse_kv
 from repro.memory.image import ArtifactCache, compression_artifacts
 from repro.registry import catalog_signature
 from repro.store import (
@@ -370,9 +371,11 @@ class TestBlobIntegrity:
             assert store.get_blob(digest) is None  # a miss, no crash
         assert store.corrupt_misses == 1
         assert store.stats()["corrupt_misses"] == 1
-        messages = [r.message for r in caplog.records]
-        assert any("failed its checksum" in m for m in messages)
-        assert any(digest[:12] in m for m in messages)
+        events = [parse_kv(r.message) for r in caplog.records]
+        corrupt = [e for e in events
+                   if e.get("event") == "store.corrupt_blob"]
+        assert corrupt and corrupt[0]["blob"] == digest[:12]
+        assert corrupt[0]["action"] == "miss"
 
     def test_corrupt_cell_record_is_a_miss(self, tmp_path):
         store = ExperimentStore(tmp_path / "store")

@@ -7,7 +7,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-smoke experiments examples store-smoke \
-	serve-smoke chaos docs verify
+	serve-smoke obs-smoke chaos docs verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +69,13 @@ serve-smoke:
 	$(PYTHON) -m repro serve --smoke
 	$(PYTHON) benchmarks/perf/load_service.py --smoke
 
+# Observability gate: boot a real server subprocess, run one job,
+# validate GET /metrics?format=prometheus against the exposition
+# syntax checker, and assert /dashboard serves the self-contained
+# live page (see docs/observability.md).
+obs-smoke:
+	$(PYTHON) -m repro obs smoke
+
 # Seeded fault-injection scenarios (tests/chaos/): sweeps under
 # injected worker crashes, hangs, transient faults and store
 # corruption must recover byte-identical results or degrade into
@@ -76,8 +83,10 @@ serve-smoke:
 chaos:
 	$(PYTHON) -m pytest tests/chaos -q
 
-verify: lint test bench-smoke examples docs store-smoke serve-smoke chaos
+verify: lint test bench-smoke examples docs store-smoke serve-smoke \
+		obs-smoke chaos
 	@echo "verify OK: lint clean, tier-1 tests green, fast-path" \
 		"output matches seed, examples run, docs in sync, store" \
 		"serves repeat sweeps from cache, sweep service round-trips" \
-		"and drains cleanly, chaos suite survives injected faults"
+		"and drains cleanly, observability endpoints validate," \
+		"chaos suite survives injected faults"

@@ -289,6 +289,90 @@ def bench_chaos_overhead(smoke: bool = False) -> Dict[str, object]:
     }
 
 
+def bench_trace_overhead(smoke: bool = False) -> Dict[str, object]:
+    """Cost of the span-tracing hooks: < 2% dormant, bounded armed.
+
+    Three interleaved timings of the same partition sweep: **bare**
+    (the :class:`~repro.core.timing.TimingModel` hook-bearing methods
+    temporarily replaced with hook-free copies — what the code would
+    cost if the tracing hooks did not exist), **off** (the shipped
+    code, hooks dormant on ``NULL_TRACER`` — the default every user
+    runs), and **armed** (a live :class:`~repro.obs.SpanTracer` via
+    :func:`~repro.obs.tracing_scope`).  The dormant overhead is the
+    headline guard — observability must be free when off; the armed
+    overhead is loosely bounded so a pathological tracer regression
+    still fails the run.
+    """
+    from ..api.executor import run_partition
+    from ..core.timing import TimingModel
+    from ..obs.tracer import TraceSink, tracing_scope
+
+    workload = get_workload("composite")
+    configs = _sweep_configs()[:3]
+    repeats = 3 if smoke else 5
+
+    def bare_stall(self, cycles, *, count_stall=True,
+                   kind="decompress"):
+        self.now += cycles
+        self.counters.stall_cycles += cycles
+        if count_stall:
+            self.counters.stalls += 1
+
+    def bare_schedule_decompression(self, unit_id, latency):
+        job = self.decompress_worker.schedule(
+            self.now, unit_id, latency
+        )
+        self.counters.background_decompress_cycles += job.latency
+        return job
+
+    def bare_cancel_decompression(self, unit_id):
+        self.decompress_worker.cancel(unit_id, self.now)
+
+    def bare_schedule_patches(self, unit_id, cycles):
+        self.compress_worker.schedule(self.now, unit_id, cycles)
+        self.compress_worker.retire_completed(self.now)
+
+    bare_methods = {
+        "stall": bare_stall,
+        "schedule_decompression": bare_schedule_decompression,
+        "cancel_decompression": bare_cancel_decompression,
+        "schedule_patches": bare_schedule_patches,
+    }
+    originals = {
+        name: getattr(TimingModel, name) for name in bare_methods
+    }
+    bare_s = off_s = armed_s = float("inf")
+    sink = TraceSink(keep_spans=False)
+    for _ in range(repeats):
+        try:
+            for name, method in bare_methods.items():
+                setattr(TimingModel, name, method)
+            started = time.perf_counter()
+            run_partition(workload, configs, "machine", True, None)
+            bare_s = min(bare_s, time.perf_counter() - started)
+        finally:
+            for name, method in originals.items():
+                setattr(TimingModel, name, method)
+        started = time.perf_counter()
+        run_partition(workload, configs, "machine", True, None)
+        off_s = min(off_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        with tracing_scope(sink):
+            run_partition(workload, configs, "machine", True, None)
+        armed_s = min(armed_s, time.perf_counter() - started)
+    disabled = (off_s - bare_s) / bare_s if bare_s else 0.0
+    armed = (armed_s - bare_s) / bare_s if bare_s else 0.0
+    return {
+        "cells": len(configs),
+        "bare_s": bare_s,
+        "off_s": off_s,
+        "armed_s": armed_s,
+        "disabled_overhead": disabled,
+        "armed_overhead": armed,
+        "within_budget": disabled < 0.02 and armed < 0.5,
+    }
+
+
 def bench_service_cached_rps(smoke: bool = False) -> Dict[str, object]:
     """Cached-submit throughput of the sweep service: must be ≥ 1000/s.
 
@@ -339,19 +423,22 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
     """Run the full benchmark suite and return the report dict.
 
     ``report["ok"]`` is False when any exactness check failed (payload
-    mismatch, engine metric divergence, or the chaos machinery costing
-    more than its 2% fault-free budget).
+    mismatch, engine metric divergence, the chaos machinery costing
+    more than its 2% fault-free budget, or the tracing hooks costing
+    more than 2% while dormant).
     """
     huffman = bench_huffman_roundtrip(smoke)
     codecs = bench_codec_roundtrips(smoke)
     e1 = bench_e1_sweep(smoke)
     manager_loop = bench_manager_loop(smoke)
     chaos = bench_chaos_overhead(smoke)
+    trace_overhead = bench_trace_overhead(smoke)
     service = bench_service_cached_rps(smoke)
     ok = (
         bool(huffman["payloads_byte_identical"])
         and bool(e1["metrics_equal"])
         and bool(chaos["within_budget"])
+        and bool(trace_overhead["within_budget"])
         and bool(service["within_budget"])
     )
     return {
@@ -365,6 +452,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
         "e1_sweep": e1,
         "manager_loop": manager_loop,
         "chaos_overhead": chaos,
+        "trace_overhead": trace_overhead,
         "bench_service_cached_rps": service,
         "ok": ok,
     }
@@ -421,6 +509,17 @@ def render_report(report: Dict[str, object]) -> str:
             f"{chaos['armed_s'] * 1000:.1f} ms armed -> "
             f"{chaos['overhead'] * 100:+.2f}% "
             f"(budget < 2%: {chaos['within_budget']})"
+        )
+    tracing = report.get("trace_overhead")
+    if tracing:
+        lines.append(
+            f"trace hook overhead ({tracing['cells']} cells): "
+            f"{tracing['bare_s'] * 1000:.1f} ms bare vs "
+            f"{tracing['off_s'] * 1000:.1f} ms dormant "
+            f"({tracing['disabled_overhead'] * 100:+.2f}%) vs "
+            f"{tracing['armed_s'] * 1000:.1f} ms armed "
+            f"({tracing['armed_overhead'] * 100:+.2f}%) "
+            f"(budget < 2% dormant: {tracing['within_budget']})"
         )
     service = report.get("bench_service_cached_rps")
     if service:

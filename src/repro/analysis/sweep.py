@@ -37,6 +37,7 @@ from ..core.config import SimulationConfig
 from ..core.manager import _TRACE_CAP, CodeCompressionManager
 from ..faults.runtime import CellTimeoutError, FaultError, cell_guard
 from ..isa.program import Program
+from ..obs.spans import span
 from ..registry import Registry
 from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
 from ..runtime.trace_sim import PreparedTrace, simulate_trace
@@ -143,7 +144,10 @@ def run_one(
     (no-policy, no-plan) configuration.
     """
     graph = cfg if cfg is not None else build_cfg(workload.program)
-    with cell_guard(workload.name, config.strategy_name):
+    with cell_guard(workload.name, config.strategy_name), span(
+        f"cell:{workload.name}:{config.strategy_name}", cat="cell",
+        workload=workload.name, label=config.strategy_name,
+    ):
         manager = CodeCompressionManager(graph, config)
         result = manager.run(max_blocks=max_blocks)
     return SweepRun(
@@ -273,7 +277,13 @@ def _trace_sweep_workload(
         if fast else configs[0].replace(record_trace=True)
     effective_first = effective_config(configs[0], fast)
     try:
-        with cell_guard(workload.name, effective_first.strategy_name):
+        with cell_guard(
+            workload.name, effective_first.strategy_name
+        ), span(
+            f"cell:{workload.name}:{effective_first.strategy_name}",
+            cat="cell", workload=workload.name,
+            label=effective_first.strategy_name, mode="record",
+        ):
             manager = CodeCompressionManager(graph, recording)
             result = manager.run(max_blocks=max_blocks)
     except Exception as exc:
@@ -306,7 +316,13 @@ def _trace_sweep_workload(
         effective = effective_config(config, fast)
         if complete:
             try:
-                with cell_guard(workload.name, effective.strategy_name):
+                with cell_guard(
+                    workload.name, effective.strategy_name
+                ), span(
+                    f"cell:{workload.name}:{effective.strategy_name}",
+                    cat="cell", workload=workload.name,
+                    label=effective.strategy_name, mode="replay",
+                ):
                     replayed = simulate_trace(graph, prepared, effective,
                                               max_blocks=max_blocks)
             except (FaultError, CellTimeoutError) as exc:

@@ -224,6 +224,64 @@ def run_instrumented(
     return manager, result
 
 
+def run_traced(
+    workload: Union[str, Workload, ProgramCFG],
+    config: Optional[SimulationConfig] = None,
+    max_blocks: Optional[int] = None,
+    engine: str = "machine",
+):
+    """Run one cell with cycle-domain span tracing armed.
+
+    Returns ``(result, tracer)``: the normal
+    :class:`~repro.runtime.metrics.SimulationResult` (with
+    ``result.phases`` filled in) plus the
+    :class:`~repro.obs.SpanTracer` holding the raw spans — feed it to
+    :func:`repro.obs.chrome_trace` for a Perfetto-loadable file, or
+    just read ``tracer.phases()``.  ``engine="trace"`` first records a
+    block trace interpreted-uncompressed, then traces the replay — the
+    same two-step the sweep trace engine performs.
+
+    Tracing never changes the result: the returned metrics are
+    byte-identical to an untraced run of the same cell.
+    """
+    from ..obs.tracer import SpanTracer
+    from ..runtime.trace_sim import PreparedTrace, simulate_trace
+
+    if isinstance(workload, ProgramCFG):
+        cfg = workload
+        name = cfg.name
+    else:
+        if isinstance(workload, str):
+            from ..workloads.suite import get_workload
+
+            workload = get_workload(workload)
+        cfg = build_cfg(workload.program)
+        name = workload.name
+    tracer = SpanTracer(name)
+    if engine == "trace":
+        recording = CodeCompressionManager(
+            cfg,
+            SimulationConfig(
+                decompression="none", codec="null",
+                trace_events=False, record_trace=True,
+            ),
+        ).run(max_blocks=max_blocks)
+        prepared = PreparedTrace.from_result(cfg, recording)
+        result = simulate_trace(
+            cfg, prepared, config, max_blocks=max_blocks,
+            tracer=tracer,
+        )
+    elif engine == "machine":
+        manager = CodeCompressionManager(cfg, config, tracer=tracer)
+        result = manager.run(max_blocks=max_blocks)
+    else:
+        raise ValueError(
+            f"unknown engine '{engine}'; run_traced supports "
+            f"'machine' and 'trace'"
+        )
+    return result, tracer
+
+
 def profile_workload(
     workload: Union[str, Workload],
     max_blocks: Optional[int] = None,
@@ -320,5 +378,6 @@ __all__ = [
     "run_experiment",
     "run_grid",
     "run_instrumented",
+    "run_traced",
     "zip_axes",
 ]

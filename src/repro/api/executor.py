@@ -53,6 +53,7 @@ from ..core.config import SimulationConfig
 from ..faults.retry import RetryPolicy
 from ..faults.runtime import classify_fault, retry_scope
 from ..log import kv
+from ..obs.spans import span
 from ..registry import Registry
 from ..workloads.suite import Workload, get_workload
 
@@ -108,8 +109,10 @@ def _retry_cell(
         if delay > 0:
             time.sleep(delay)
         started = time.perf_counter()
-        current = run_one_safe(workload, run.config,
-                               max_blocks=max_blocks)
+        with span("cell.retry", cat="retry", cell=key,
+                  attempt=attempt):
+            current = run_one_safe(workload, run.config,
+                                   max_blocks=max_blocks)
         duration_ms = round((time.perf_counter() - started) * 1000, 3)
         attempts.append({
             "attempt": attempt,
@@ -140,7 +143,10 @@ def run_partition(
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
-    with retry_scope(retry):
+    with retry_scope(retry), span(
+        f"partition:{workload.name}", cat="compute",
+        workload=workload.name, cells=len(configs), engine=engine,
+    ):
         runs = sweep(
             [workload], list(configs), fast=fast, max_blocks=max_blocks,
             engine=engine,

@@ -20,10 +20,16 @@ Subcommands (all built on the :mod:`repro.api` facade):
   and the machine- vs. trace-engine E1 sweep);
 * ``serve``    — the long-running sweep service (``repro.service``):
   a JSON-over-HTTP job queue with store-backed per-cell dedup, SSE
-  progress events, ``/metrics``, graceful drain and a resumable job
-  journal; ``--smoke`` boots a throwaway server, round-trips a spec
-  and asserts byte-equality with a local run (the ``make serve-smoke``
-  gate).
+  progress events, ``/metrics`` (JSON or Prometheus text), a live
+  ``/dashboard`` page, graceful drain and a resumable job journal;
+  ``--smoke`` boots a throwaway server, round-trips a spec and asserts
+  byte-equality with a local run (the ``make serve-smoke`` gate);
+* ``trace``    — run one cell with cycle-domain span tracing armed
+  (``repro.obs``): prints the execute/stall phase breakdown and writes
+  a Perfetto-loadable Chrome trace with ``--out``;
+* ``obs``      — observability gates: ``smoke`` validates the
+  Prometheus exposition and the dashboard end to end against a real
+  server subprocess (the ``make obs-smoke`` gate).
 
 ``run``/``sweep``/``compare`` accept ``--hierarchy PRESET`` (the
 memory-hierarchy model: ``flat`` is the seed-equivalent default;
@@ -203,7 +209,13 @@ def _store_from_args(args: argparse.Namespace):
 
 
 def _report_cell_failures(result) -> int:
-    """List failed cells on stderr; the command's exit code."""
+    """List failed cells on stderr; the command's exit code.
+
+    One :func:`repro.log.kv` line per failed cell, so scripts can
+    ``parse_kv`` the stderr instead of grepping prose.
+    """
+    from .log import kv
+
     failed = result.failures()
     if not failed:
         return 0
@@ -212,7 +224,10 @@ def _report_cell_failures(result) -> int:
         reason = run.error if run.error is not None \
             else "; ".join(run.validation)
         print(
-            f"  {run.workload} [{run.config.strategy_name}]: {reason}",
+            "  " + kv(
+                "cell.failed", workload=run.workload,
+                label=run.config.strategy_name, error=reason,
+            ),
             file=sys.stderr,
         )
     return 1
@@ -619,6 +634,164 @@ def cmd_bench(args: argparse.Namespace) -> int:
               "implementation", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced cell; print phases, optionally write Chrome JSON."""
+    from .obs import chrome_trace_json
+
+    workload = get_workload(args.workload)
+    profile = _assignment_profile(args, workload, args.strategy)
+    config = _config_from_args(args, profile)
+    result, tracer = api.run_traced(
+        workload, config, engine=args.engine
+    )
+    print(result.render())
+    print("\nphase breakdown (cycles):")
+    for name, cycles in (result.phases or {}).items():
+        share = (
+            cycles / result.total_cycles if result.total_cycles else 0.0
+        )
+        print(f"  {name:18s} {cycles:10d}  {share:6.1%}")
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(chrome_trace_json(tracer))
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"\n[chrome trace written to {args.out} — load it in "
+              f"Perfetto or chrome://tracing]")
+    return 0
+
+
+def _cmd_obs_smoke(args: argparse.Namespace) -> int:
+    """Boot a real server; validate the text exposition + dashboard.
+
+    The ``make obs-smoke`` / CI gate: a throwaway server subprocess
+    runs one small job, then ``GET /metrics?format=prometheus`` must
+    pass :func:`repro.obs.validate_exposition` and ``GET /dashboard``
+    must serve the self-contained HTML page.
+    """
+    import shutil
+    import signal as signal_module
+    import socket
+    import subprocess
+    import tempfile
+    import time
+    import urllib.request
+
+    from .obs import validate_exposition
+    from .service import ServiceClient, ServiceClientError
+
+    temp = None
+    if args.store is None:
+        temp = tempfile.mkdtemp(prefix="repro-obs-smoke-")
+        root = temp
+    else:
+        root = _store_root(args)
+
+    def free_port() -> int:
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    proc = None
+    try:
+        port = free_port()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--host", "127.0.0.1", "--port", str(port),
+             "--store", root, "--workers", "2"],
+        )
+        client = ServiceClient("127.0.0.1", port)
+        deadline = time.monotonic() + 30.0
+        while True:
+            if proc.poll() is not None:
+                print(f"error: server exited early "
+                      f"(code {proc.returncode})", file=sys.stderr)
+                return 1
+            try:
+                if client.healthz().get("ok"):
+                    break
+            except (ServiceClientError, OSError):
+                pass
+            if time.monotonic() > deadline:
+                print("error: server never became healthy",
+                      file=sys.stderr)
+                return 1
+            time.sleep(0.1)
+        print(f"obs smoke @ {root} (port {port})")
+
+        # One real job first, so the histograms/phase bars have data.
+        reply = client.submit(_SERVE_SMOKE_SPEC)
+        client.wait(reply["job"], timeout=120)
+        client.close()
+        base = f"http://127.0.0.1:{port}"
+
+        with urllib.request.urlopen(
+            f"{base}/metrics?format=prometheus", timeout=10
+        ) as response:
+            content_type = response.headers.get("Content-Type", "")
+            text = response.read().decode("utf-8")
+        if "text/plain" not in content_type:
+            print(f"error: exposition served as {content_type!r}, "
+                  f"want text/plain", file=sys.stderr)
+            return 1
+        try:
+            checked = validate_exposition(text)
+        except ValueError as exc:
+            print(f"error: invalid exposition: {exc}", file=sys.stderr)
+            return 1
+        for required in ("repro_uptime_seconds",
+                         "repro_http_request_duration_ms_bucket",
+                         "repro_jobs"):
+            if required not in text:
+                print(f"error: exposition is missing {required}",
+                      file=sys.stderr)
+                return 1
+        print(f"  prometheus exposition OK "
+              f"({checked['metrics']} metrics, "
+              f"{checked['samples']} samples)")
+
+        with urllib.request.urlopen(
+            f"{base}/dashboard", timeout=10
+        ) as response:
+            status = response.status
+            page = response.read().decode("utf-8")
+        if status != 200 or "<html" not in page \
+                or "/metrics" not in page:
+            print("error: /dashboard did not serve the dashboard page",
+                  file=sys.stderr)
+            return 1
+        print(f"  dashboard OK ({len(page)} bytes, self-contained)")
+
+        proc.send_signal(signal_module.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            code = -9
+        proc = None
+        if code != 0:
+            print(f"error: server exited {code} on SIGTERM",
+                  file=sys.stderr)
+            return 1
+        print("obs smoke OK")
+        return 0
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+        if temp is not None:
+            shutil.rmtree(temp, ignore_errors=True)
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "smoke":
+        return _cmd_obs_smoke(args)
+    raise AssertionError(f"unhandled obs action {args.action!r}")
 
 
 #: The serve-smoke experiment: tiny, two workloads, trace engine.
@@ -1122,6 +1295,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the report without writing the JSON file",
     )
     bench_parser.set_defaults(func=cmd_bench)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="simulate one cell with span tracing armed "
+                      "(phase breakdown + Chrome trace export)"
+    )
+    trace_parser.add_argument(
+        "action", choices=("run",),
+        help="run: trace one workload/config cell",
+    )
+    trace_parser.add_argument("workload", choices=available_workloads())
+    _add_config_arguments(trace_parser)
+    trace_parser.add_argument(
+        "--engine", default="machine", choices=api.available_engines(),
+        help="engine to trace: interpret ('machine') or record + "
+             "replay ('trace'); results are identical either way "
+             "(default: machine)",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the Chrome trace-event JSON here (load it in "
+             "Perfetto or chrome://tracing)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability gates (see docs/observability.md)"
+    )
+    obs_parser.add_argument(
+        "action", choices=("smoke",),
+        help="smoke: boot a throwaway server, validate the Prometheus "
+             "text exposition and the /dashboard page "
+             "(the `make obs-smoke` / CI gate)",
+    )
+    obs_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory backing the throwaway server "
+             "(default: a temp dir, removed afterwards)",
+    )
+    obs_parser.set_defaults(func=cmd_obs)
 
     return parser
 

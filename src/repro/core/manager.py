@@ -39,6 +39,7 @@ from typing import Deque, List, Optional, Set, Tuple
 
 from ..cfg.builder import ProgramCFG
 from ..cfg.profile import EdgeProfile
+from ..obs.tracer import Tracer, current_tracer
 from ..runtime.events import EventKind, EventLog
 from ..runtime.machine import Machine
 from ..runtime.metrics import Counters, SimulationResult
@@ -80,6 +81,7 @@ class CodeCompressionManager:
         config: Optional[SimulationConfig] = None,
         compression_policy: Optional[CompressionPolicy] = None,
         decompression_policy: Optional[DecompressionPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cfg = cfg
         self.config = config or SimulationConfig()
@@ -94,8 +96,20 @@ class CodeCompressionManager:
         self.counters = Counters()
         self.profile = EdgeProfile()  # online access pattern, always kept
 
+        # ---- observability -----------------------------------------
+        # Tracing is armed out-of-band (explicit argument or the
+        # ambient tracing_scope), never via SimulationConfig: configs
+        # feed store fingerprints, and tracing must leave results and
+        # cache keys byte-identical.  The default is the inert
+        # NULL_TRACER.
+        self.tracer = (
+            tracer if tracer is not None else current_tracer(cfg.name)
+        )
+
         # ---- the composable core -----------------------------------
-        self.timing = TimingModel(self.config, self.counters)
+        self.timing = TimingModel(
+            self.config, self.counters, self.tracer
+        )
         self.residency = ResidencySubsystem(
             cfg, self.config, self.timing, self.counters, self.log
         )
@@ -343,7 +357,10 @@ class CodeCompressionManager:
             # Patch fault: the copy exists but the branch that got us here
             # still aims at the compressed area (Figure 5 steps 5-6).
             self.counters.faults += 1
-            timing.stall(self.config.fault_cycles, count_stall=False)
+            timing.stall(
+                self.config.fault_cycles, count_stall=False,
+                kind="patch",
+            )
             if site is not None:
                 residency.remember.add_reference(block_id, site)
                 self.counters.patches += 1
@@ -399,7 +416,7 @@ class CodeCompressionManager:
         residency.sample_footprint()
 
         registers = self.machine.registers
-        return SimulationResult(
+        result = SimulationResult(
             program=self.cfg.name,
             strategy=self.config.strategy_name,
             codec=self.config.codec,
@@ -424,6 +441,15 @@ class CodeCompressionManager:
             trace_truncated=self.trace_truncated,
             engine=getattr(self.machine, "engine_name", "machine"),
         )
+        if self.tracer.enabled:
+            self.tracer.close(
+                timing.execution_cycles, timing.now
+            )
+            # The phase breakdown rides on the live result only; it is
+            # excluded from summary()/serialisation so traced and
+            # untraced runs stay byte-identical.
+            result.phases = self.tracer.phases()
+        return result
 
     # ------------------------------------------------------------------
     # Loop steps

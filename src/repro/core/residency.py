@@ -123,6 +123,10 @@ class ResidencySubsystem:
                 self.image = SeparateAreaImage(
                     cfg, self.codec, artifacts=artifacts
                 )
+            # Observability: let the image report actual codec decode
+            # dispatches (plaintext-memo misses) to an armed tracer.
+            if timing.tracer.enabled:
+                self.image.tracer = timing.tracer
 
         self.budget: Optional[MemoryBudget] = None
         if config.memory_budget is not None:
@@ -272,7 +276,7 @@ class ResidencySubsystem:
         self.counters.target_memory_accesses += 1
         cycles = self.hierarchy.target_read_cycles(nbytes)
         if cycles:
-            self.timing.stall(cycles, count_stall=False)
+            self.timing.stall(cycles, count_stall=False, kind="mem")
 
     # ==================================================================
     # Materialisation / release mechanics
@@ -300,6 +304,11 @@ class ResidencySubsystem:
             self.counters.target_memory_accesses += 1
         self.counters.decompressions += 1
         self._used_since_decompress[unit_id] = False
+        if self.timing.tracer.enabled:
+            self.timing.tracer.fill(
+                self.timing.now, unit_id,
+                self.unit_fill_cycles(unit_id),
+            )
         if self.on_unit_decompressed is not None:
             self.on_unit_decompressed(unit_id)
         if self.budget is not None:
@@ -331,6 +340,10 @@ class ResidencySubsystem:
         self.timing.schedule_patches(
             unit_id, self.config.patch_cycles * patches
         )
+        if self.timing.tracer.enabled:
+            self.timing.tracer.release(
+                self.timing.now, unit_id, reason.name.lower(), patches
+            )
         if self.on_unit_released is not None:
             self.on_unit_released(unit_id)
         if self.budget is not None:

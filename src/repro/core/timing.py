@@ -14,6 +14,7 @@ simulations reproduce exactly on any machine.
 
 from __future__ import annotations
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..runtime.metrics import Counters
 from ..runtime.threads import BackgroundWorker, Job
 from .config import SimulationConfig
@@ -32,10 +33,14 @@ class TimingModel:
     """
 
     def __init__(
-        self, config: SimulationConfig, counters: Counters
+        self,
+        config: SimulationConfig,
+        counters: Counters,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.config = config
         self.counters = counters
+        self.tracer = tracer
         self.now = 0
         self.execution_cycles = 0
         self.decompress_worker = BackgroundWorker(
@@ -54,13 +59,24 @@ class TimingModel:
         self.now += cycles
         self.execution_cycles += cycles
 
-    def stall(self, cycles: int, *, count_stall: bool = True) -> None:
+    def stall(
+        self,
+        cycles: int,
+        *,
+        count_stall: bool = True,
+        kind: str = "decompress",
+    ) -> None:
         """Charge the execution thread ``cycles`` of synchronous penalty.
 
         This is the single place ``now`` and ``stall_cycles`` grow for
         any fault/wait; ``count_stall=False`` charges the cycles without
-        counting a discrete stall event (patch-only faults).
+        counting a discrete stall event (patch-only faults).  ``kind``
+        attributes the cycles for tracing (one of
+        :data:`repro.obs.tracer.STALL_KINDS`); callers that are not the
+        decompression path must say which phase they are charging.
         """
+        if self.tracer.enabled:
+            self.tracer.stall(self.now, cycles, kind, count_stall)
         self.now += cycles
         self.counters.stall_cycles += cycles
         if count_stall:
@@ -86,10 +102,19 @@ class TimingModel:
         """Queue a background decompression; returns the worker job."""
         job = self.decompress_worker.schedule(self.now, unit_id, latency)
         self.counters.background_decompress_cycles += job.latency
+        if self.tracer.enabled:
+            self.tracer.worker_job(
+                "decompression", unit_id, job.scheduled_at,
+                job.started_at, job.completes_at,
+            )
         return job
 
     def cancel_decompression(self, unit_id: int) -> None:
         """Cancel a pending decompression, refunding unperformed work."""
+        if self.tracer.enabled:
+            self.tracer.worker_cancel(
+                self.now, "decompression", unit_id
+            )
         self.decompress_worker.cancel(unit_id, self.now)
 
     def retire_decompressions(self) -> None:
@@ -98,7 +123,12 @@ class TimingModel:
 
     def schedule_patches(self, unit_id: int, cycles: int) -> None:
         """Queue branch patching on the background compression thread."""
-        self.compress_worker.schedule(self.now, unit_id, cycles)
+        job = self.compress_worker.schedule(self.now, unit_id, cycles)
+        if self.tracer.enabled:
+            self.tracer.worker_job(
+                "compression", unit_id, job.scheduled_at,
+                job.started_at, job.completes_at,
+            )
         self.compress_worker.retire_completed(self.now)
 
     def decompression_backlog(self) -> int:
@@ -120,8 +150,10 @@ class TimingModel:
             self.decompress_worker.contention_cycles()
             + self.compress_worker.contention_cycles()
         )
-        self.now += contention
-        self.counters.stall_cycles += contention
+        if contention:
+            self.stall(
+                contention, count_stall=False, kind="contention"
+            )
         self.counters.background_compress_cycles = (
             self.compress_worker.busy_cycles
         )

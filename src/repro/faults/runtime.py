@@ -38,6 +38,7 @@ or implicitly from the environment on first use.
 from __future__ import annotations
 
 import contextlib
+import logging
 import multiprocessing
 import os
 import signal
@@ -45,8 +46,11 @@ import threading
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..log import kv
 from .plan import FAULTS_ENV, FaultPlan, plan_from_env
 from .retry import RetryPolicy
+
+_log = logging.getLogger("repro.faults")
 
 
 class FaultError(Exception):
@@ -189,6 +193,13 @@ def maybe_fire(site: str, key: str) -> Optional[str]:
         ) >= rule.rate:
             continue
         counters[index][1] = fired + 1
+        # Rare by construction (faults are injected sparingly), so a
+        # parseable record of every firing costs nothing on the
+        # fault-free path the chaos_overhead benchmark guards.
+        _log.info(kv(
+            "fault.fired", site=site, key=key, kind=rule.kind,
+            rule=index, fired=fired + 1,
+        ))
         if rule.kind == "transient":
             raise TransientFault(
                 f"injected transient fault at {site}:{key}"

@@ -32,6 +32,7 @@ from ..compress.codec import (
     get_codec,
 )
 from ..compress.stats import block_bytes
+from ..obs.tracer import NULL_TRACER
 from .allocator import AllocationError, FreeListAllocator
 
 
@@ -285,6 +286,10 @@ class CodeImage(abc.ABC):
         self.blocks: List[BlockImage] = []
         self.decompress_count = 0
         self.release_count = 0
+        # Armed by the residency subsystem when a run is traced; the
+        # null default keeps block_data's hot path to one attribute
+        # check on the (rare) memo-miss branch only.
+        self.tracer = NULL_TRACER
         self._artifacts = artifacts
         self._plaintext = artifacts.plaintext if artifacts else {}
         self._codec_map = artifacts.codec_map if artifacts else None
@@ -424,11 +429,16 @@ class CodeImage(abc.ABC):
         data = self._plaintext.get(block_id)
         if data is None:
             block = self.blocks[block_id]
+            codec = self.codec_for(block_id)
             data = decompress_for_image(
-                self.codec_for(block_id), block.compressed_payload,
+                codec, block.compressed_payload,
                 block.uncompressed_size,
             )
             self._plaintext[block_id] = data
+            if self.tracer.enabled:
+                self.tracer.decode(
+                    block_id, getattr(codec, "name", "?"), len(data)
+                )
         return data
 
     def verify_block(self, block_id: int) -> bool:

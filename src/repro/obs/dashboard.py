@@ -1,0 +1,195 @@
+"""The live sweep dashboard: one self-contained HTML page.
+
+Served verbatim by ``GET /dashboard`` — no external assets, no build
+step, no dependencies; inline CSS and vanilla JS only, so the page
+works from the stdlib server on an air-gapped machine.  The page polls
+``GET /metrics`` (JSON) and ``GET /jobs`` every two seconds to render:
+
+* service headline: uptime, queue depth, job counts, store hit rate;
+* cell throughput (computed cells per second, from poll deltas);
+* a job table with progress, per-job cache hits, and a
+  phase-breakdown bar (execute / stall / background cycles) for
+  finished jobs;
+* a live event feed over each running job's SSE stream.
+"""
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro sweep dashboard</title>
+<style>
+  :root { --bg:#11151a; --panel:#1a2027; --text:#d8dee6; --dim:#7c8691;
+          --exec:#4caf7d; --stall:#e0a44c; --bg2:#5c7cfa; --bad:#e05c5c; }
+  body { background:var(--bg); color:var(--text); margin:0;
+         font:14px/1.5 system-ui, sans-serif; }
+  header { padding:14px 22px; border-bottom:1px solid #2a323c;
+           display:flex; align-items:baseline; gap:14px; }
+  header h1 { font-size:17px; margin:0; }
+  header .sub { color:var(--dim); font-size:12px; }
+  main { padding:18px 22px; max-width:1100px; }
+  .cards { display:flex; flex-wrap:wrap; gap:12px; margin-bottom:18px; }
+  .card { background:var(--panel); border-radius:8px; padding:10px 16px;
+          min-width:120px; }
+  .card .v { font-size:22px; font-weight:600; }
+  .card .k { color:var(--dim); font-size:12px; }
+  table { border-collapse:collapse; width:100%; background:var(--panel);
+          border-radius:8px; overflow:hidden; }
+  th, td { text-align:left; padding:7px 12px; font-size:13px; }
+  th { color:var(--dim); font-weight:500; border-bottom:1px solid #2a323c; }
+  tr + tr td { border-top:1px solid #232b34; }
+  .state-done { color:var(--exec); }
+  .state-running { color:var(--stall); }
+  .state-failed { color:var(--bad); }
+  .state-queued { color:var(--dim); }
+  .bar { display:flex; height:12px; width:180px; border-radius:3px;
+         overflow:hidden; background:#2a323c; }
+  .bar div { height:100%; }
+  .bar .exec { background:var(--exec); }
+  .bar .stall { background:var(--stall); }
+  .bar .bg { background:var(--bg2); }
+  .legend { color:var(--dim); font-size:12px; margin:8px 0 18px; }
+  .legend i { display:inline-block; width:10px; height:10px;
+              border-radius:2px; margin:0 4px 0 12px; }
+  #events { background:var(--panel); border-radius:8px; margin-top:18px;
+            padding:10px 14px; max-height:220px; overflow-y:auto;
+            font:12px/1.6 ui-monospace, monospace; color:var(--dim); }
+  #events .ok { color:var(--exec); }
+  #events .err { color:var(--bad); }
+  #error { color:var(--bad); font-size:12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro sweep dashboard</h1>
+  <span class="sub" id="addr"></span>
+  <span id="error"></span>
+</header>
+<main>
+  <div class="cards">
+    <div class="card"><div class="v" id="uptime">-</div>
+      <div class="k">uptime</div></div>
+    <div class="card"><div class="v" id="queue">-</div>
+      <div class="k">queue depth</div></div>
+    <div class="card"><div class="v" id="jobs">-</div>
+      <div class="k">jobs (run / done / fail)</div></div>
+    <div class="card"><div class="v" id="hitrate">-</div>
+      <div class="k">store hit rate</div></div>
+    <div class="card"><div class="v" id="throughput">-</div>
+      <div class="k">cells / s (computed)</div></div>
+  </div>
+  <table>
+    <thead><tr>
+      <th>job</th><th>name</th><th>state</th><th>progress</th>
+      <th>hits</th><th>computed</th><th>phase breakdown</th>
+    </tr></thead>
+    <tbody id="rows"><tr><td colspan="7">loading…</td></tr></tbody>
+  </table>
+  <div class="legend">phase bar:
+    <i style="background:var(--exec)"></i>execute
+    <i style="background:var(--stall)"></i>stall
+    <i style="background:var(--bg2)"></i>background
+  </div>
+  <div id="events">waiting for job events…</div>
+</main>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+$("addr").textContent = location.origin;
+let lastComputed = null, lastTime = null;
+const streams = new Map();
+
+function fmtUptime(s) {
+  if (s >= 3600) return (s / 3600).toFixed(1) + "h";
+  if (s >= 60) return (s / 60).toFixed(1) + "m";
+  return s.toFixed(0) + "s";
+}
+
+function phaseBar(ph) {
+  if (!ph) return "";
+  const ex = ph.execute || 0, st = ph.stall || 0, bg = ph.background || 0;
+  const total = ex + st + bg;
+  if (!total) return "";
+  const pct = (v) => (100 * v / total).toFixed(1) + "%";
+  const tip = `execute ${ex} / stall ${st} / background ${bg} cycles`;
+  return `<div class="bar" title="${tip}">` +
+    `<div class="exec" style="width:${pct(ex)}"></div>` +
+    `<div class="stall" style="width:${pct(st)}"></div>` +
+    `<div class="bg" style="width:${pct(bg)}"></div></div>`;
+}
+
+function logEvent(text, cls) {
+  const box = $("events");
+  const line = document.createElement("div");
+  line.textContent = text;
+  if (cls) line.className = cls;
+  box.appendChild(line);
+  while (box.childNodes.length > 200) box.removeChild(box.firstChild);
+  box.scrollTop = box.scrollHeight;
+}
+
+function watch(job) {
+  if (streams.has(job.id)) return;
+  const src = new EventSource(`/jobs/${job.id}/events`);
+  streams.set(job.id, src);
+  src.onmessage = (msg) => {
+    try {
+      const ev = JSON.parse(msg.data);
+      logEvent(`${job.id.slice(0, 8)} ${ev.workload || ""} ` +
+               `${ev.label || ""} ${ev.source || ""}` +
+               (ev.error ? ` error: ${ev.error}` : ""),
+               ev.ok === false ? "err" : "ok");
+    } catch (e) { /* keep streaming */ }
+  };
+  src.addEventListener("end", () => { src.close(); });
+  src.onerror = () => { src.close(); streams.delete(job.id); };
+}
+
+async function poll() {
+  try {
+    const [metrics, jobs] = await Promise.all([
+      fetch("/metrics").then((r) => r.json()),
+      fetch("/jobs").then((r) => r.json()),
+    ]);
+    $("error").textContent = "";
+    $("uptime").textContent =
+      fmtUptime(metrics.service.uptime_s || 0);
+    $("queue").textContent = metrics.queue_depth;
+    const jc = metrics.jobs || {};
+    $("jobs").textContent =
+      `${jc.running || 0} / ${jc.done || 0} / ${jc.failed || 0}`;
+    const store = metrics.store || {};
+    const hits = store.hits || 0, misses = store.misses || 0;
+    $("hitrate").textContent = (hits + misses)
+      ? (100 * hits / (hits + misses)).toFixed(1) + "%" : "-";
+    let computed = 0;
+    for (const job of jobs.jobs || [])
+      computed += (job.progress && job.progress.computed) || 0;
+    const now = Date.now() / 1000;
+    if (lastComputed !== null && now > lastTime)
+      $("throughput").textContent =
+        Math.max(0, (computed - lastComputed) / (now - lastTime))
+          .toFixed(1);
+    lastComputed = computed; lastTime = now;
+    const rows = (jobs.jobs || []).map((job) => {
+      const p = job.progress || {};
+      if (job.state === "running") watch(job);
+      return `<tr><td>${job.id.slice(0, 8)}</td>` +
+        `<td>${job.name || ""}</td>` +
+        `<td class="state-${job.state}">${job.state}</td>` +
+        `<td>${p.done || 0}/${p.total || 0}</td>` +
+        `<td>${p.hits || 0}</td><td>${p.computed || 0}</td>` +
+        `<td>${phaseBar(job.phases)}</td></tr>`;
+    });
+    $("rows").innerHTML =
+      rows.join("") || '<tr><td colspan="7">no jobs yet</td></tr>';
+  } catch (err) {
+    $("error").textContent = "poll failed: " + err;
+  }
+  setTimeout(poll, 2000);
+}
+poll();
+</script>
+</body>
+</html>
+"""

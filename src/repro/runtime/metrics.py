@@ -176,6 +176,11 @@ class SimulationResult:
     block_trace: List[int] = field(default_factory=list)
     trace_truncated: bool = False
     engine: str = "machine"
+    #: Per-run phase breakdown (execute + per-kind stall cycles) filled
+    #: in only when the run was traced (see :mod:`repro.obs`).  Live
+    #: diagnostics only: excluded from :meth:`summary` and from every
+    #: serialised form, so traced and untraced runs stay byte-identical.
+    phases: Optional[Dict[str, int]] = None
 
     # ----------------------------------------------------------------
     # The paper's headline metrics

@@ -151,6 +151,7 @@ def simulate_trace(
     max_blocks: Optional[int] = None,
     compression_policy=None,
     decompression_policy=None,
+    tracer=None,
 ):
     """Run the compression machinery over a recorded block trace.
 
@@ -161,6 +162,9 @@ def simulate_trace(
     instances forwarded to the manager (for ablations such as E12 that
     inject non-config policies into a trace replay).  Pass a
     :class:`PreparedTrace` when replaying the same trace many times.
+    ``tracer`` optionally arms cycle-domain span tracing for the replay
+    (an ambient :func:`repro.obs.tracing_scope` covers replays too, as
+    they build the same manager).
     """
     from ..core.manager import CodeCompressionManager
 
@@ -169,6 +173,7 @@ def simulate_trace(
         config,
         compression_policy=compression_policy,
         decompression_policy=decompression_policy,
+        tracer=tracer,
     )
     manager.machine = TraceMachine(cfg, trace)
     return manager.run(max_blocks=max_blocks)

@@ -9,12 +9,15 @@ thousands of requests down one connection):
 ``POST /jobs``            submit an ExperimentSpec (the ``exp --spec``
                           JSON schema); 202 + job id, or 200 when the
                           job deduplicated onto an existing one
+``GET /jobs``             all job snapshots, oldest first (dashboard)
 ``GET /jobs/<id>``        status/progress snapshot
 ``GET /jobs/<id>/result`` the canonical ResultSet JSON (byte-identical
                           to a local ``run_experiment`` on this store)
 ``GET /jobs/<id>/events`` per-cell completion events as SSE
 ``GET /healthz``          liveness + queue depth + job counts
-``GET /metrics``          latency histograms + store stats
+``GET /metrics``          latency histograms + store stats (JSON;
+                          ``?format=prometheus`` for text exposition)
+``GET /dashboard``        self-contained live HTML dashboard
 ========================  =============================================
 
 Blocking work (spec validation + journal writes on submit, store
@@ -39,6 +42,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from ..api.spec import SpecError
 from ..log import kv
+from ..obs.dashboard import DASHBOARD_HTML
+from ..obs.prometheus import render_prometheus
 from ..store.cas import ExperimentStore
 from .jobs import Job, JobManager, QueueFullError, ServiceError
 from .metrics import ServiceMetrics
@@ -116,7 +121,8 @@ class SweepServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, target, headers, body = request
+                path, _, query = target.partition("?")
                 close = headers.get("connection", "").lower() == "close"
                 if method == "GET" and self._events_job_id(path):
                     await self._stream_events(
@@ -126,7 +132,7 @@ class SweepServer:
                 loop = asyncio.get_running_loop()
                 started = loop.time()
                 status, payload, content_type = await self._dispatch(
-                    method, path, body
+                    method, path, query, body
                 )
                 self.metrics.observe(
                     self._label(method, path),
@@ -179,7 +185,7 @@ class SweepServer:
         if length < 0 or length > MAX_BODY_BYTES:
             return None
         body = await reader.readexactly(length) if length else b""
-        return method, target.split("?", 1)[0], headers, body
+        return method, target, headers, body
 
     # ------------------------------------------------------------------
     # Routing
@@ -208,18 +214,25 @@ class SweepServer:
             if len(parts) == 2:
                 return f"{method} /jobs/{{id}}"
             return f"{method} /jobs/{{id}}/{parts[2]}"
-        if path in ("/healthz", "/metrics"):
+        if path in ("/healthz", "/metrics", "/dashboard"):
             return f"{method} {path}"
         return "OTHER"
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, query: str, body: bytes
     ) -> Tuple[int, bytes, str]:
         """Route one request; returns (status, payload, content-type)."""
         json_type = "application/json"
         if path == "/jobs":
+            if method == "GET":
+                snapshots = await asyncio.to_thread(
+                    self.manager.list_jobs
+                )
+                return 200, _json_bytes({"jobs": snapshots}), json_type
             if method != "POST":
-                return 405, _json_bytes({"error": "POST only"}), json_type
+                return 405, _json_bytes(
+                    {"error": "GET or POST only"}
+                ), json_type
             return await self._submit(body)
         job_id = self._job_id(path)
         if job_id is not None:
@@ -246,12 +259,23 @@ class SweepServer:
             }), json_type
         if path == "/metrics":
             stats = await asyncio.to_thread(self.manager.store.stats)
-            return 200, _json_bytes({
+            payload = {
                 "service": self.metrics.snapshot(),
                 "queue_depth": self.manager.queue_depth,
                 "jobs": self.manager.job_counts(),
                 "store": stats,
-            }), json_type
+            }
+            if "format=prometheus" in query:
+                return 200, render_prometheus(payload).encode(
+                    "utf-8"
+                ), "text/plain; version=0.0.4; charset=utf-8"
+            return 200, _json_bytes(payload), json_type
+        if path == "/dashboard":
+            if method != "GET":
+                return 405, _json_bytes({"error": "GET only"}), json_type
+            return 200, DASHBOARD_HTML.encode(
+                "utf-8"
+            ), "text/html; charset=utf-8"
         return 404, _json_bytes({"error": "unknown path"}), json_type
 
     async def _submit(self, body: bytes) -> Tuple[int, bytes, str]:

@@ -54,6 +54,7 @@ from ..api.results import ResultSet
 from ..api.spec import ExperimentSpec, SpecError
 from ..faults.retry import RetryPolicy
 from ..log import kv
+from ..obs.spans import span, span_event
 from ..registry import catalog_signature
 from ..store.cas import ExperimentStore, StoreError, _atomic_write
 from ..store.executor import artifact_scope, plan_cells
@@ -141,6 +142,11 @@ class Job:
         }
         self.error_rows: List[Dict[str, Any]] = []
         self.events: List[Dict[str, Any]] = []
+        #: Aggregate cycle-phase breakdown of the finished result
+        #: (execute / stall / background), filled in by the worker.
+        #: Snapshot-only diagnostics — not journalled, so resumed done
+        #: jobs simply lack it.
+        self.phases: Optional[Dict[str, int]] = None
         self._lock = threading.Lock()
 
     # -- mutation (worker side) ---------------------------------------
@@ -191,6 +197,7 @@ class Job:
                 "progress": dict(self.progress),
                 "error_rows": [dict(r) for r in self.error_rows],
                 "error": self.error,
+                "phases": dict(self.phases) if self.phases else None,
             }
 
     def to_journal(self) -> Dict[str, Any]:
@@ -321,6 +328,12 @@ class JobManager:
     def queue_depth(self) -> int:
         return self._queue.qsize()
 
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """All job snapshots, oldest first (``GET /jobs``)."""
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.seq)
+        return [job.snapshot() for job in jobs]
+
     def job_counts(self) -> Dict[str, int]:
         counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
         with self._lock:
@@ -442,12 +455,22 @@ class JobManager:
                 ))
 
     def _execute(self, job: Job) -> None:
-        spec = job.spec
         with job._lock:
             job.state = "running"
             job.started = time.time()
         self._write_journal(job)
+        # Queue wait = created -> started; a span event so an armed
+        # recorder sees service latency next to the compute spans.
+        span_event(
+            "job.queue_wait", cat="queue", job=job.id,
+            wait_ms=round((job.started - job.created) * 1000.0, 3),
+        )
+        with span(f"job:{job.id}", cat="job", key=job.key[:12],
+                  cells=job.progress["total"]):
+            self._run_job(job)
 
+    def _run_job(self, job: Job) -> None:
+        spec = job.spec
         partitions = [
             Partition(workload=name, configs=configs)
             for name, configs in spec.partitions()
@@ -614,11 +637,33 @@ class JobManager:
         # one from the store — cache hits from this job's perspective.
         self.store.add_usage(hits=hits + shared, misses=computed,
                              puts=puts)
+        phases = self._aggregate_phases(runs)
         with job._lock:
             job.result_text = text
+            job.phases = phases
             job.state = "done"
             job.finished = time.time()
         self._write_journal(job)
+
+    @staticmethod
+    def _aggregate_phases(runs: List[Any]) -> Dict[str, int]:
+        """Cycle-phase totals across a job's runs (dashboard bars).
+
+        Works for cached cells too — the breakdown comes from the
+        stored metrics, not from live tracing.
+        """
+        phases = {"execute": 0, "stall": 0, "background": 0}
+        for run in runs:
+            res = getattr(run, "result", None)
+            if res is None:
+                continue
+            phases["execute"] += res.execution_cycles
+            phases["stall"] += res.counters.stall_cycles
+            phases["background"] += (
+                res.counters.background_decompress_cycles
+                + res.counters.background_compress_cycles
+            )
+        return phases
 
     def _load_cell(self, fingerprint: str, cell_config) -> Optional[Any]:
         record = self.store.get_cell(fingerprint)

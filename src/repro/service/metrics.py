@@ -38,6 +38,36 @@ class LatencyHistogram:
                 return
         self.counts[-1] += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile (0..1) in milliseconds.
+
+        Linear interpolation within the containing bucket, the same
+        estimate ``histogram_quantile`` computes from a Prometheus
+        histogram.  The unbounded overflow bucket uses the observed
+        ``max_ms`` as its upper edge, so the estimate never exceeds a
+        latency that was actually seen.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(BUCKET_BOUNDS_MS):
+            in_bucket = self.counts[i]
+            if cumulative + in_bucket >= rank and in_bucket:
+                fraction = (rank - cumulative) / in_bucket
+                return round(lower + (bound - lower) * fraction, 3)
+            cumulative += in_bucket
+            lower = float(bound)
+        upper = max(self.max_ms, lower)
+        in_bucket = self.counts[-1]
+        if not in_bucket:
+            return round(lower, 3)
+        fraction = min(1.0, (rank - cumulative) / in_bucket)
+        return round(lower + (upper - lower) * fraction, 3)
+
     def to_dict(self) -> Dict[str, Any]:
         buckets = {
             f"<={bound}": self.counts[i]
@@ -50,6 +80,9 @@ class LatencyHistogram:
             "mean_ms": round(self.total_ms / self.count, 3)
             if self.count else 0.0,
             "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.quantile(0.50),
+            "p95_ms": self.quantile(0.95),
+            "p99_ms": self.quantile(0.99),
             "buckets_ms": buckets,
         }
 

@@ -22,17 +22,22 @@ any process are reused by every later one.
 from __future__ import annotations
 
 import contextlib
+import logging
 import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.sweep import SweepRun, effective_config
 from ..api.executor import EXECUTORS, Executor, Partition, make_executor
+from ..log import kv
 from ..memory.image import set_artifact_provider
+from ..obs.spans import span, span_event
 from ..registry import catalog_signature
 from ..workloads.suite import get_workload
 from .cas import ExperimentStore, StoreError, resolve_store_dir
 from .fingerprint import cell_fingerprint, workload_digest
 from .records import is_cacheable, record_to_run, run_to_record
+
+_log = logging.getLogger("repro.store.executor")
 
 #: Environment variable carrying the artifact-store directory into
 #: worker processes (installed below at import time).
@@ -74,8 +79,13 @@ def _install_env_provider() -> None:
         set_artifact_provider(StoreArtifactProvider(
             ExperimentStore(root)
         ))
-    except (StoreError, OSError):
-        pass  # a broken env var must never kill a worker
+    except (StoreError, OSError) as exc:
+        # A broken env var must never kill a worker; it just runs
+        # without artifact reuse.  Say so in a parseable line.
+        _log.warning(kv(
+            "store.artifact_provider_skipped",
+            store=root, error=str(exc),
+        ))
 
 
 _install_env_provider()
@@ -192,25 +202,34 @@ class CachingExecutor(Executor):
         max_blocks: Optional[int] = None,
     ) -> List[SweepRun]:
         partitions = list(partitions)
-        plan = plan_cells(partitions, engine=engine, fast=fast,
-                          max_blocks=max_blocks)
+        with span("store.plan", cat="store",
+                  partitions=len(partitions)):
+            plan = plan_cells(partitions, engine=engine, fast=fast,
+                              max_blocks=max_blocks)
         fingerprints: List[List[str]] = []
         cached: List[List[Optional[SweepRun]]] = []
-        for row in plan:
-            row_fps: List[str] = []
-            row_runs: List[Optional[SweepRun]] = []
-            for fingerprint, cell_config in row:
-                row_fps.append(fingerprint)
-                record = self.store.get_cell(fingerprint)
-                run: Optional[SweepRun] = None
-                if record is not None:
-                    try:
-                        run = record_to_run(record, cell_config)
-                    except StoreError:
-                        run = None  # stale/corrupt record: recompute
-                row_runs.append(run)
-            fingerprints.append(row_fps)
-            cached.append(row_runs)
+        with span("store.lookup", cat="store",
+                  cells=sum(len(row) for row in plan)):
+            for row in plan:
+                row_fps: List[str] = []
+                row_runs: List[Optional[SweepRun]] = []
+                for fingerprint, cell_config in row:
+                    row_fps.append(fingerprint)
+                    record = self.store.get_cell(fingerprint)
+                    run: Optional[SweepRun] = None
+                    if record is not None:
+                        try:
+                            run = record_to_run(record, cell_config)
+                        except StoreError:
+                            run = None  # stale/corrupt record: recompute
+                    span_event(
+                        "store.hit" if run is not None
+                        else "store.miss",
+                        cat="store", fingerprint=fingerprint[:12],
+                    )
+                    row_runs.append(run)
+                fingerprints.append(row_fps)
+                cached.append(row_runs)
 
         # Misses, regrouped into workload-major partitions so the
         # trace-replay and shared-artifact fast paths still apply.
@@ -236,7 +255,10 @@ class CachingExecutor(Executor):
         computed_by_fp: Dict[str, SweepRun] = {}
         puts = 0
         if missing:
-            with self._artifact_store_scope():
+            with self._artifact_store_scope(), span(
+                "store.compute", cat="store",
+                cells=sum(len(fps) for _, fps in missing),
+            ):
                 if self.inner.jobs <= 1 and len(missing) > 1:
                     # Serial inner: dispatch partition by partition and
                     # persist each as it completes, so an interrupted

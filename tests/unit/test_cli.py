@@ -281,8 +281,16 @@ class TestExp:
                      self._write_spec(tmp_path, spec)]) == 1
         captured = capsys.readouterr()
         assert "4 cell(s) failed" in captured.err
-        assert "fib [ondemand/kc=1]" in captured.err
-        assert "MachineError" in captured.err
+        from repro.log import parse_kv
+
+        rows = [
+            parse_kv(line) for line in captured.err.splitlines()
+            if "event=cell.failed" in line
+        ]
+        assert len(rows) == 4
+        assert {"fib", "gcd"} == {row["workload"] for row in rows}
+        assert any(row["label"] == "ondemand/kc=1" for row in rows)
+        assert all("MachineError" in row["error"] for row in rows)
         # The table still lists every cell (nothing silently dropped).
         assert captured.out.count(" NO") == 4
 

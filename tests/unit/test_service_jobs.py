@@ -257,7 +257,12 @@ class TestSnapshots:
             assert set(snapshot) == {
                 "id", "key", "state", "deduped", "created", "started",
                 "finished", "progress", "error_rows", "error",
+                "phases",
             }
+            assert set(snapshot["phases"]) == {
+                "execute", "stall", "background",
+            }
+            assert snapshot["phases"]["execute"] > 0
             assert set(snapshot["progress"]) == {
                 "total", "done", "hits", "computed", "shared",
                 "errors", "retried",

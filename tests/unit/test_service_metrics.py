@@ -1,0 +1,134 @@
+"""Unit tests for :mod:`repro.service.metrics`.
+
+Quantile estimates are pinned against hand-computed linear
+interpolation over the fixed bucket bounds, and a thread hammer proves
+:meth:`ServiceMetrics.snapshot` never observes torn bucket counts.
+"""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    BUCKET_BOUNDS_MS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+def _hist(*observations):
+    hist = LatencyHistogram()
+    for ms in observations:
+        hist.observe(ms)
+    return hist
+
+
+class TestQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert LatencyHistogram().quantile(0.5) == 0.0
+        assert LatencyHistogram().quantile(0.99) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        hist = _hist(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(-0.1)
+
+    def test_interpolation_pins(self):
+        # One observation per bucket: <=1, <=2, <=5, <=10.
+        hist = _hist(0.5, 1.5, 3.0, 8.0)
+        # rank = 0.5 * 4 = 2.0 -> top of the <=2 bucket.
+        assert hist.quantile(0.50) == 2.0
+        # rank = 3.8 -> 0.8 of the way through the (5, 10] bucket.
+        assert hist.quantile(0.95) == 9.0
+        # rank = 3.96 -> 0.96 of the way through the (5, 10] bucket.
+        assert hist.quantile(0.99) == 9.8
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 10.0
+
+    def test_single_observation(self):
+        hist = _hist(0.25)
+        # Bucket semantics: 0.5 of the way through the (0, 1] bucket.
+        assert hist.quantile(0.5) == 0.5
+
+    def test_overflow_bucket_uses_observed_max(self):
+        hist = _hist(3000.0, 3000.0)
+        top = BUCKET_BOUNDS_MS[-1]
+        # Half-way through (2500, max_ms=3000].
+        assert hist.quantile(0.5) == top + (3000.0 - top) / 2
+        # Never exceeds a latency actually seen.
+        assert hist.quantile(1.0) == 3000.0
+
+    def test_overflow_fraction_is_clamped(self):
+        hist = _hist(10000.0)
+        assert hist.quantile(1.0) == 10000.0
+
+    def test_to_dict_carries_quantiles(self):
+        payload = _hist(0.5, 1.5, 3.0, 8.0).to_dict()
+        assert payload["p50_ms"] == 2.0
+        assert payload["p95_ms"] == 9.0
+        assert payload["p99_ms"] == 9.8
+        assert payload["count"] == 4
+        assert sum(payload["buckets_ms"].values()) == 4
+
+    def test_quantiles_are_monotone_in_q(self):
+        hist = _hist(*[float(x) for x in range(1, 200, 7)])
+        quantiles = [hist.quantile(q / 100) for q in range(0, 101, 5)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestServiceMetricsThreadSafety:
+    def test_snapshot_never_sees_torn_buckets(self):
+        """Concurrent observers + snapshotters: bucket sums stay exact.
+
+        Without the lock in ``snapshot`` a reader could catch
+        ``observe`` between ``count += 1`` and the bucket increment and
+        report ``sum(buckets) != count``.
+        """
+        metrics = ServiceMetrics()
+        labels = ("POST /jobs", "GET /jobs/{id}", "GET /metrics")
+        per_thread = 400
+        writer_count = 6
+        stop = threading.Event()
+        torn = []
+
+        def writer(seed):
+            for i in range(per_thread):
+                label = labels[(seed + i) % len(labels)]
+                metrics.observe(label, float((seed * i) % 97), 200)
+
+        def reader():
+            while not stop.is_set():
+                snap = metrics.snapshot()
+                for label, hist in snap["requests"].items():
+                    total = sum(hist["buckets_ms"].values())
+                    if total != hist["count"]:
+                        torn.append((label, total, hist["count"]))
+                responses = sum(snap["responses"].values())
+                requests = sum(
+                    h["count"] for h in snap["requests"].values()
+                )
+                if responses != requests:
+                    torn.append(("responses", responses, requests))
+
+        writers = [
+            threading.Thread(target=writer, args=(seed,))
+            for seed in range(writer_count)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert torn == []
+        final = metrics.snapshot()
+        observed = sum(h["count"] for h in final["requests"].values())
+        assert observed == writer_count * per_thread
+        assert final["responses"] == {
+            "200": writer_count * per_thread
+        }

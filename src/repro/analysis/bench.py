@@ -24,10 +24,11 @@ from __future__ import annotations
 import json
 import os
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..cfg import build_cfg
 from ..compress.codec import get_codec
@@ -196,22 +197,27 @@ def _sweep_configs() -> List[SimulationConfig]:
     ]
 
 
+def _metrics_equal(left, right) -> bool:
+    """Exact equality of the compared metrics of two results."""
+    return all(
+        getattr(left, metric) == getattr(right, metric)
+        for metric in _COMPARED_METRICS
+    ) and all(
+        getattr(left.counters, counter) == getattr(
+            right.counters, counter
+        )
+        for counter in _COMPARED_COUNTERS
+    )
+
+
 def _results_equal(machine_runs, trace_runs) -> bool:
     """Cell-by-cell metric equality between the two sweep engines."""
     if len(machine_runs) != len(trace_runs):
         return False
-    for left, right in zip(machine_runs, trace_runs):
-        for metric in _COMPARED_METRICS:
-            if getattr(left.result, metric) != getattr(
-                right.result, metric
-            ):
-                return False
-        for counter in _COMPARED_COUNTERS:
-            if getattr(left.result.counters, counter) != getattr(
-                right.result.counters, counter
-            ):
-                return False
-    return True
+    return all(
+        _metrics_equal(left.result, right.result)
+        for left, right in zip(machine_runs, trace_runs)
+    )
 
 
 def bench_e1_sweep(smoke: bool = False) -> Dict[str, object]:
@@ -373,6 +379,118 @@ def bench_trace_overhead(smoke: bool = False) -> Dict[str, object]:
     }
 
 
+def bench_trace_replay_batched(smoke: bool = False) -> Dict[str, object]:
+    """Batched trace-replay kernel vs. interpreting the same cell.
+
+    Records one block trace of the ``composite`` workload, then times
+    replaying it through :func:`~repro.runtime.trace_sim.simulate_trace`
+    (which runs inside the batched kernel's envelope —
+    :mod:`repro.core.replay`) against interpreting the identical
+    configuration from scratch.  The replayed metrics must match the
+    interpreted ones exactly, and the speedup carries an explicit
+    regression floor (``within_budget``) so a kernel slowdown — or a
+    silent fall-off from the batched envelope back to the per-block
+    path — fails the run.
+    """
+    from ..core.manager import CodeCompressionManager
+    from ..runtime.trace_sim import PreparedTrace, simulate_trace
+
+    graph = build_cfg(get_workload("composite").program)
+    recording = SimulationConfig(
+        decompression="none", record_trace=True, trace_events=False,
+    )
+    recorded = CodeCompressionManager(graph, recording).run()
+    prepared = PreparedTrace(graph, recorded.block_trace)
+    config = SimulationConfig(
+        codec="shared-dict", decompression="ondemand", k_compress=4,
+        trace_events=False, record_trace=False,
+    )
+    # One warm pass each: codec training and compression artifacts are
+    # shared, so the timed loops measure the engines, not the caches.
+    interpreted = CodeCompressionManager(graph, config).run()
+    replayed = simulate_trace(graph, prepared, config)
+    metrics_equal = _metrics_equal(interpreted, replayed)
+
+    repeats = 2 if smoke else 5
+    replay_s = _time(
+        lambda: simulate_trace(graph, prepared, config), repeats
+    )
+    machine_s = _time(
+        lambda: CodeCompressionManager(graph, config).run(), repeats
+    )
+    blocks = replayed.counters.blocks_executed
+    speedup = machine_s / replay_s if replay_s else float("inf")
+    return {
+        "workload": "composite",
+        "blocks_replayed": blocks,
+        "replay_s": replay_s,
+        "machine_s": machine_s,
+        "blocks_per_s": blocks / replay_s if replay_s else float("inf"),
+        "speedup": speedup,
+        "metrics_equal": metrics_equal,
+        "within_budget": speedup >= 5.0,
+    }
+
+
+def bench_bitio_bulk(smoke: bool = False) -> Dict[str, object]:
+    """Bulk ``write_run``/``read_run`` vs. scalar per-field bit I/O.
+
+    Streams a fixed corpus of 11-bit fields (an LZW-like width) through
+    the word-at-a-time bulk paths and through per-field
+    ``write_bits``/``read_bits`` loops.  The bit streams and decoded
+    values must be identical, and the bulk paths carry an explicit
+    speedup floor (``within_budget``) as the regression guard.
+    """
+    import random
+
+    from ..compress.bitio import BitReader, BitWriter
+
+    width = 11
+    count = 5_000 if smoke else 50_000
+    rng = random.Random(11)
+    values = [rng.getrandbits(width) for _ in range(count)]
+
+    writer = BitWriter()
+    writer.write_run(values, width)
+    payload = writer.getvalue()
+    scalar_writer = BitWriter()
+    for value in values:
+        scalar_writer.write_bits(value, width)
+    identical = (
+        scalar_writer.getvalue() == payload
+        and BitReader(payload).read_run(width, count) == values
+    )
+
+    def bulk() -> None:
+        out = BitWriter()
+        out.write_run(values, width)
+        BitReader(out.getvalue()).read_run(width, count)
+
+    def scalar() -> None:
+        out = BitWriter()
+        write_bits = out.write_bits
+        for value in values:
+            write_bits(value, width)
+        reader = BitReader(out.getvalue())
+        read_bits = reader.read_bits
+        for _ in range(count):
+            read_bits(width)
+
+    repeats = 3 if smoke else 5
+    bulk_s = _time(bulk, repeats)
+    scalar_s = _time(scalar, repeats)
+    speedup = scalar_s / bulk_s if bulk_s else float("inf")
+    return {
+        "fields": count,
+        "width": width,
+        "bulk_s": bulk_s,
+        "scalar_s": scalar_s,
+        "speedup": speedup,
+        "identical": identical,
+        "within_budget": speedup >= 2.0,
+    }
+
+
 def bench_service_cached_rps(smoke: bool = False) -> Dict[str, object]:
     """Cached-submit throughput of the sweep service: must be ≥ 1000/s.
 
@@ -419,43 +537,105 @@ def bench_service_cached_rps(smoke: bool = False) -> Dict[str, object]:
     }
 
 
-def run_benchmarks(smoke: bool = False) -> Dict[str, object]:
-    """Run the full benchmark suite and return the report dict.
+#: Named benchmark registry (``--only NAME`` accepts these).  The key is
+#: both the CLI name and the report section the result lands under.
+BENCHMARKS: Dict[str, Callable[[bool], Dict[str, object]]] = {
+    "huffman_roundtrip": bench_huffman_roundtrip,
+    "codec_roundtrips": bench_codec_roundtrips,
+    "e1_sweep": bench_e1_sweep,
+    "manager_loop": bench_manager_loop,
+    "chaos_overhead": bench_chaos_overhead,
+    "trace_overhead": bench_trace_overhead,
+    "trace_replay_batched": bench_trace_replay_batched,
+    "bitio_bulk": bench_bitio_bulk,
+    "bench_service_cached_rps": bench_service_cached_rps,
+}
 
-    ``report["ok"]`` is False when any exactness check failed (payload
-    mismatch, engine metric divergence, the chaos machinery costing
-    more than its 2% fault-free budget, or the tracing hooks costing
-    more than 2% while dormant).
+#: Per-benchmark exactness/budget gates folded into ``report["ok"]``.
+#: A gate sees its (merged) section dict; absent sections (``--only``
+#: runs) simply contribute no gate.
+_GATES: Dict[str, Callable[[Dict[str, object]], bool]] = {
+    "huffman_roundtrip": lambda r: bool(r["payloads_byte_identical"]),
+    "e1_sweep": lambda r: bool(r["metrics_equal"]),
+    "chaos_overhead": lambda r: bool(r["within_budget"]),
+    "trace_overhead": lambda r: bool(r["within_budget"]),
+    "trace_replay_batched": lambda r: (
+        bool(r["metrics_equal"]) and bool(r["within_budget"])
+    ),
+    "bitio_bulk": lambda r: (
+        bool(r["identical"]) and bool(r["within_budget"])
+    ),
+    "bench_service_cached_rps": lambda r: bool(r["within_budget"]),
+}
+
+
+def _merge_repeats(samples: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Fold ``--repeat N`` samples of one benchmark into one section.
+
+    Numeric fields take the median across runs (the reported timing is
+    the median-of-N), booleans AND together (every run must pass its
+    exactness check), nested dicts merge recursively, and anything else
+    keeps the first run's value.
     """
-    huffman = bench_huffman_roundtrip(smoke)
-    codecs = bench_codec_roundtrips(smoke)
-    e1 = bench_e1_sweep(smoke)
-    manager_loop = bench_manager_loop(smoke)
-    chaos = bench_chaos_overhead(smoke)
-    trace_overhead = bench_trace_overhead(smoke)
-    service = bench_service_cached_rps(smoke)
-    ok = (
-        bool(huffman["payloads_byte_identical"])
-        and bool(e1["metrics_equal"])
-        and bool(chaos["within_budget"])
-        and bool(trace_overhead["within_budget"])
-        and bool(service["within_budget"])
-    )
-    return {
+    first = samples[0]
+    if len(samples) == 1:
+        return dict(first)
+    merged: Dict[str, object] = {}
+    for key, value in first.items():
+        values = [sample[key] for sample in samples]
+        if isinstance(value, bool):
+            merged[key] = all(values)
+        elif isinstance(value, (int, float)):
+            merged[key] = statistics.median(values)
+        elif isinstance(value, dict):
+            merged[key] = _merge_repeats(values)
+        else:
+            merged[key] = value
+    return merged
+
+
+def run_benchmarks(
+    smoke: bool = False,
+    only: Optional[str] = None,
+    repeat: int = 1,
+) -> Dict[str, object]:
+    """Run the benchmark suite and return the report dict.
+
+    ``only`` restricts the run to one :data:`BENCHMARKS` entry (for
+    iterating on a single benchmark during perf work); ``repeat`` runs
+    each selected benchmark N times and reports the median-of-N (see
+    :func:`_merge_repeats`).  ``report["ok"]`` is False when any gate of
+    a *selected* benchmark failed — payload mismatch, engine metric
+    divergence, a blown overhead budget, or a speedup under its
+    regression floor.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if only is not None and only not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark '{only}'; available: "
+            f"{', '.join(BENCHMARKS)}"
+        )
+    names = [only] if only is not None else list(BENCHMARKS)
+    report: Dict[str, object] = {
         "schema": "bench_core/v1",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "smoke": smoke,
-        "huffman_roundtrip": huffman,
-        "codec_roundtrips": codecs,
-        "e1_sweep": e1,
-        "manager_loop": manager_loop,
-        "chaos_overhead": chaos,
-        "trace_overhead": trace_overhead,
-        "bench_service_cached_rps": service,
-        "ok": ok,
+        "repeat": repeat,
     }
+    ok = True
+    for name in names:
+        section = _merge_repeats(
+            [BENCHMARKS[name](smoke) for _ in range(repeat)]
+        )
+        report[name] = section
+        gate = _GATES.get(name)
+        if gate is not None:
+            ok = ok and bool(gate(section))
+    report["ok"] = ok
+    return report
 
 
 def write_report(
@@ -468,31 +648,62 @@ def write_report(
 
 
 def render_report(report: Dict[str, object]) -> str:
-    """Human-readable summary of a benchmark report."""
-    huffman = report["huffman_roundtrip"]
-    e1 = report["e1_sweep"]
-    lines = [
-        "codec round-trips"
-        f" ({huffman['corpus_buffers']} buffers,"
-        f" {huffman['corpus_bytes']} bytes):",
-    ]
-    for name, stats in report["codec_roundtrips"].items():
+    """Human-readable summary of a (possibly ``--only``-filtered)
+    benchmark report."""
+    lines: List[str] = []
+    huffman = report.get("huffman_roundtrip")
+    codecs = report.get("codec_roundtrips")
+    if codecs and huffman:
+        lines.append(
+            "codec round-trips"
+            f" ({huffman['corpus_buffers']} buffers,"
+            f" {huffman['corpus_bytes']} bytes):"
+        )
+    elif codecs:
+        lines.append("codec round-trips:")
+    for name, stats in (codecs or {}).items():
         lines.append(
             f"  {name:14s} {stats['seconds'] * 1000:8.1f} ms"
             f"  ({stats['mb_per_s']:6.2f} MB/s)"
         )
-    lines.append(
-        f"huffman vs seed: {huffman['fast_s'] * 1000:.1f} ms vs "
-        f"{huffman['reference_s'] * 1000:.1f} ms "
-        f"-> {huffman['speedup']:.2f}x "
-        f"(payloads identical: {huffman['payloads_byte_identical']})"
-    )
-    lines.append(
-        f"E1 sweep ({', '.join(e1['workloads'])}; {e1['cells']} cells): "
-        f"machine {e1['machine_s'] * 1000:.0f} ms vs trace "
-        f"{e1['trace_s'] * 1000:.0f} ms -> {e1['speedup']:.2f}x "
-        f"(metrics equal: {e1['metrics_equal']})"
-    )
+    if huffman:
+        lines.append(
+            f"huffman vs seed: {huffman['fast_s'] * 1000:.1f} ms vs "
+            f"{huffman['reference_s'] * 1000:.1f} ms "
+            f"-> {huffman['speedup']:.2f}x "
+            f"(payloads identical: {huffman['payloads_byte_identical']})"
+        )
+    e1 = report.get("e1_sweep")
+    if e1:
+        lines.append(
+            f"E1 sweep ({', '.join(e1['workloads'])}; "
+            f"{e1['cells']} cells): "
+            f"machine {e1['machine_s'] * 1000:.0f} ms vs trace "
+            f"{e1['trace_s'] * 1000:.0f} ms -> {e1['speedup']:.2f}x "
+            f"(metrics equal: {e1['metrics_equal']})"
+        )
+    replay = report.get("trace_replay_batched")
+    if replay:
+        lines.append(
+            f"batched replay ({replay['workload']}; "
+            f"{replay['blocks_replayed']} blocks): "
+            f"{replay['replay_s'] * 1000:.1f} ms vs machine "
+            f"{replay['machine_s'] * 1000:.1f} ms -> "
+            f"{replay['speedup']:.1f}x "
+            f"({replay['blocks_per_s']:,.0f} blocks/s; "
+            f"metrics equal: {replay['metrics_equal']}; "
+            f"floor >= 5x: {replay['within_budget']})"
+        )
+    bitio = report.get("bitio_bulk")
+    if bitio:
+        lines.append(
+            f"bitio bulk ({bitio['fields']} x {bitio['width']}-bit "
+            f"fields): {bitio['bulk_s'] * 1000:.2f} ms vs scalar "
+            f"{bitio['scalar_s'] * 1000:.2f} ms -> "
+            f"{bitio['speedup']:.1f}x "
+            f"(streams identical: {bitio['identical']}; "
+            f"floor >= 2x: {bitio['within_budget']})"
+        )
     loop = report.get("manager_loop")
     if loop:
         lines.append(

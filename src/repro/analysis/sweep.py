@@ -12,36 +12,49 @@ Engines live in the :data:`ENGINES` registry; two are built in:
 * ``engine="machine"`` interprets every instruction of every grid cell —
   the gold standard, and the default.
 * ``engine="trace"`` is the shared-artifact fast path: per workload, the
-  CFG is built once, the *first* grid cell runs interpreted with trace
-  recording on, and every remaining cell replays that block trace through
-  :func:`~repro.runtime.trace_sim.simulate_trace`.  Compressed payloads
-  are shared across cells via the
+  CFG is built once and the block trace is recorded *once* under the
+  uncompressed baseline config (``decompression="none"``), then **every**
+  grid cell replays it through
+  :func:`~repro.runtime.trace_sim.simulate_trace` — replays inside the
+  batched kernel's envelope (:mod:`repro.core.replay`) fast-forward whole
+  resident runs in bulk.  The recording itself is not a grid cell; its
+  result is discarded (only the trace and the oracle validation survive,
+  cached per CFG so repeated sweeps over the same workload objects never
+  re-record).  Compressed payloads are shared across cells via the
   :func:`~repro.memory.image.compression_artifacts` cache, so identical
   block bytes are never recompressed.  Compression policy is transparent
   to program semantics (the differential-oracle integration tests enforce
   this), so the recorded block sequence is valid for every configuration
   and the resulting metrics are identical to machine-driven metrics —
   asserted by ``tests/integration/test_trace_sweep_equivalence.py``.
-  Replayed cells reuse the recording cell's oracle validation (replay
-  does not model register state).  If a trace overflows the recording
-  cap, the sweep falls back to the interpreting engine for that workload.
+  Replayed cells reuse the recording's oracle validation (replay does
+  not model register state).  If the trace overflows the recording cap,
+  the sweep emits a structured ``repro.log.kv`` fallback event and
+  interprets every cell of that workload.
 """
 
 from __future__ import annotations
 
+import logging
+import os
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..cfg.builder import ProgramCFG, build_cfg
+from ..cfg.builder import ProgramCFG, build_cfg, build_cfg_cached
 from ..core.config import SimulationConfig
-from ..core.manager import _TRACE_CAP, CodeCompressionManager
+from ..core import manager as _manager_mod
+from ..core.manager import CodeCompressionManager
 from ..faults.runtime import CellTimeoutError, FaultError, cell_guard
 from ..isa.program import Program
+from ..log import kv
 from ..obs.spans import span
 from ..registry import Registry
 from ..runtime.metrics import Counters, FootprintTimeline, SimulationResult
 from ..runtime.trace_sim import PreparedTrace, simulate_trace
 from ..workloads.suite import Workload
+
+_log = logging.getLogger("repro.sweep")
 
 #: Sweep engine registry: each engine runs one workload's grid row
 #: (``engine(workload, graph, configs, fast, max_blocks) -> [SweepRun]``).
@@ -143,7 +156,7 @@ def run_one(
     installed fault plan may fire — both no-ops in the default
     (no-policy, no-plan) configuration.
     """
-    graph = cfg if cfg is not None else build_cfg(workload.program)
+    graph = cfg if cfg is not None else build_cfg_cached(workload.program)
     with cell_guard(workload.name, config.strategy_name), span(
         f"cell:{workload.name}:{config.strategy_name}", cat="cell",
         workload=workload.name, label=config.strategy_name,
@@ -231,7 +244,7 @@ def sweep(
     engine_fn = ENGINES.get(engine)
     out = SweepResult()
     for workload in workloads:
-        graph = build_cfg(workload.program)
+        graph = build_cfg_cached(workload.program)
         out.runs.extend(
             engine_fn(workload, graph, configs, fast, max_blocks)
         )
@@ -256,6 +269,87 @@ def _machine_sweep_workload(
     ]
 
 
+#: Per-CFG recorded-trace cache for the trace engine:
+#: ``graph -> {(max_blocks, data_words, max_steps):
+#: (PreparedTrace | None, validation, reason)}``.  ``PreparedTrace`` is
+#: None for a negative entry (the recording hit the cap or came back
+#: incomplete) with ``reason`` saying why; positive entries carry the
+#: prepared trace and the recording's oracle validation.  Keyed weakly
+#: on the :class:`ProgramCFG` so dead graphs evict their traces.
+_trace_cache: "weakref.WeakKeyDictionary[ProgramCFG, Dict[tuple, tuple]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def _recorded_trace(
+    workload: Workload,
+    graph: ProgramCFG,
+    template: SimulationConfig,
+    max_blocks: Optional[int],
+):
+    """The workload's recorded trace (cached per CFG), or a negative
+    entry explaining why replay is off the table.
+
+    Recording runs once under the uncompressed baseline
+    (``decompression="none"``): the block sequence and final machine
+    state are properties of the *program*, not the compression config
+    (the differential oracle enforces this), so one recording serves
+    every grid cell and every subsequent sweep over the same CFG.  The
+    recording is deliberately not run under ``cell_guard`` — it is not
+    a grid cell, so injected faults and per-cell deadlines do not apply.
+    """
+    # The recording cap is looked up through the module (not a frozen
+    # import) so test fixtures that shrink it see truthful fallback
+    # events; it is part of the cache key so entries recorded under a
+    # different cap are never reused.
+    cap = _manager_mod._TRACE_CAP
+    key = (max_blocks, template.data_words, template.max_steps, cap)
+    per_graph = _trace_cache.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _trace_cache[graph] = per_graph
+    entry = per_graph.get(key)
+    if entry is not None:
+        return entry
+    recording = SimulationConfig(
+        decompression="none",
+        record_trace=True,
+        trace_events=False,
+        data_words=template.data_words,
+        max_steps=template.max_steps,
+    )
+    with span(
+        f"cell:{workload.name}:record", cat="cell",
+        workload=workload.name, label="record", mode="record",
+    ):
+        manager = CodeCompressionManager(graph, recording)
+        result = manager.run(max_blocks=max_blocks)
+    validation = workload.validate(manager.machine)
+    trace = result.block_trace
+    complete = trace and not result.trace_truncated \
+        and result.counters.blocks_executed == len(trace) \
+        and len(trace) < cap
+    if complete:
+        prepared = PreparedTrace(graph, trace)
+        shards = os.environ.get("REPRO_REPLAY_SHARDS")
+        if shards:
+            prepared.shard_processes = max(1, int(shards))
+        entry = (prepared, validation, None)
+    else:
+        reason = (
+            "truncated" if result.trace_truncated
+            or len(trace) >= cap else "incomplete"
+        )
+        _log.warning(kv(
+            "sweep.trace_fallback",
+            workload=workload.name,
+            cap=cap,
+            reason=reason,
+        ))
+        entry = (None, validation, reason)
+    per_graph[key] = entry
+    return entry
+
+
 @ENGINES.register("trace")
 def _trace_sweep_workload(
     workload: Workload,
@@ -266,89 +360,58 @@ def _trace_sweep_workload(
 ) -> List[SweepRun]:
     """One workload's grid row under the trace engine.
 
-    The first config runs interpreted (recording the block trace); the
-    remaining configs replay it.  Falls back to interpreting everything
-    when the trace was truncated by the recording cap.
+    The block trace is recorded once (cached per CFG, see
+    :func:`_recorded_trace`) and every cell replays it.  Falls back to
+    interpreting the whole row — with a parseable ``repro.log.kv``
+    event — when the trace was truncated by the recording cap, and to
+    interpreting individual cells whose replay raises.
     """
     runs: List[SweepRun] = []
-    # Record with trace capture on, but report the cell under the
-    # caller's effective config (recording changes no other metric).
-    recording = configs[0].replace(trace_events=False, record_trace=True) \
-        if fast else configs[0].replace(record_trace=True)
-    effective_first = effective_config(configs[0], fast)
     try:
-        with cell_guard(
-            workload.name, effective_first.strategy_name
-        ), span(
-            f"cell:{workload.name}:{effective_first.strategy_name}",
-            cat="cell", workload=workload.name,
-            label=effective_first.strategy_name, mode="record",
-        ):
-            manager = CodeCompressionManager(graph, recording)
-            result = manager.run(max_blocks=max_blocks)
-    except Exception as exc:
-        # The recording cell raised: no trace to replay.  Report it as
-        # an error run and interpret the remaining cells individually
-        # (they may fail for config-specific reasons of their own).
-        runs.append(_failed_run(workload, effective_first, exc))
-        for config in configs[1:]:
-            effective = effective_config(config, fast)
-            runs.append(
-                run_one_safe(workload, effective, cfg=graph,
-                             max_blocks=max_blocks)
-            )
-        return runs
-    validation = workload.validate(manager.machine)
-    trace = result.block_trace
-    complete = trace and not result.trace_truncated \
-        and result.counters.blocks_executed == len(trace) \
-        and len(trace) < _TRACE_CAP
-    prepared = PreparedTrace(graph, trace) if complete else None
-    if not effective_first.record_trace:
-        # The caller asked for no trace in the result; drop the (up to
-        # _TRACE_CAP-entry) list now that the replay has its own copy.
-        result.block_trace = []
-    runs.append(
-        SweepRun(workload=workload.name, config=effective_first,
-                 result=result, validation=validation)
-    )
-    for config in configs[1:]:
+        prepared, validation, _reason = _recorded_trace(
+            workload, graph, configs[0], max_blocks
+        )
+    except Exception:
+        # The recording itself raised (broken workload, undecodable
+        # program): interpret every cell — each captures its own error.
+        prepared, validation = None, None
+    if prepared is None:
+        return [
+            run_one_safe(workload, effective_config(config, fast),
+                         cfg=graph, max_blocks=max_blocks)
+            for config in configs
+        ]
+    for config in configs:
         effective = effective_config(config, fast)
-        if complete:
-            try:
-                with cell_guard(
-                    workload.name, effective.strategy_name
-                ), span(
-                    f"cell:{workload.name}:{effective.strategy_name}",
-                    cat="cell", workload=workload.name,
-                    label=effective.strategy_name, mode="replay",
-                ):
-                    replayed = simulate_trace(graph, prepared, effective,
-                                              max_blocks=max_blocks)
-            except (FaultError, CellTimeoutError) as exc:
-                # An injected fault or a blown deadline is a cell
-                # failure, not a replay shortcoming: report it as an
-                # error row (the retry layer may recover it) instead
-                # of paying for an interpreting fallback.
-                runs.append(_failed_run(workload, effective, exc))
-                continue
-            except Exception:
-                # Replay failed for this cell: fall back to the
-                # interpreting path (which captures its own errors).
-                runs.append(
-                    run_one_safe(workload, effective, cfg=graph,
-                                 max_blocks=max_blocks)
-                )
-                continue
-            runs.append(
-                SweepRun(workload=workload.name, config=effective,
-                         result=replayed, validation=list(validation))
-            )
-        else:
+        try:
+            with cell_guard(
+                workload.name, effective.strategy_name
+            ), span(
+                f"cell:{workload.name}:{effective.strategy_name}",
+                cat="cell", workload=workload.name,
+                label=effective.strategy_name, mode="replay",
+            ):
+                replayed = simulate_trace(graph, prepared, effective,
+                                          max_blocks=max_blocks)
+        except (FaultError, CellTimeoutError) as exc:
+            # An injected fault or a blown deadline is a cell
+            # failure, not a replay shortcoming: report it as an
+            # error row (the retry layer may recover it) instead
+            # of paying for an interpreting fallback.
+            runs.append(_failed_run(workload, effective, exc))
+            continue
+        except Exception:
+            # Replay failed for this cell: fall back to the
+            # interpreting path (which captures its own errors).
             runs.append(
                 run_one_safe(workload, effective, cfg=graph,
                              max_blocks=max_blocks)
             )
+            continue
+        runs.append(
+            SweepRun(workload=workload.name, config=effective,
+                     result=replayed, validation=list(validation))
+        )
     return runs
 
 

@@ -198,6 +198,38 @@ def _function_bodies(
     return bodies
 
 
+#: ``id(program) -> (weakref, ProgramCFG)`` memo for
+#: :func:`build_cfg_cached`.  Keyed on object identity because
+#: :class:`Program` is a plain dataclass (value equality, unhashable);
+#: the weak reference evicts the entry when the program dies, so the
+#: cache cannot leak or serve a recycled id.
+_cfg_cache: Dict[int, Tuple[object, ProgramCFG]] = {}
+
+
+def build_cfg_cached(program: Program) -> ProgramCFG:
+    """Memoized :func:`build_cfg` (per program *instance*).
+
+    Programs are immutable once linked, so the CFG of a given instance
+    never changes; sweeps and benches that re-enter with the same
+    program objects skip block discovery and edge construction entirely.
+    """
+    import weakref
+
+    key = id(program)
+    entry = _cfg_cache.get(key)
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    cfg = build_cfg(program)
+
+    # Bind the cache dict directly: at interpreter shutdown the module
+    # global may already be cleared when the last weakref fires.
+    def _evict(_ref, _key=key, _cache=_cfg_cache):
+        _cache.pop(_key, None)
+
+    _cfg_cache[key] = (weakref.ref(program, _evict), cfg)
+    return cfg
+
+
 def build_cfg(program: Program) -> ProgramCFG:
     """Build the whole-program CFG of a linked ``program``.
 

@@ -620,8 +620,19 @@ def cmd_store(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import render_report, run_benchmarks, write_report
 
-    report = run_benchmarks(smoke=args.smoke)
+    try:
+        report = run_benchmarks(
+            smoke=args.smoke, only=args.only, repeat=args.repeat
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     print(render_report(report))
+    if args.only and args.output is None:
+        # A filtered run is a partial report; never clobber the full
+        # BENCH_core.json with it unless a path was given explicitly.
+        args.no_write = True
     if not args.no_write:
         try:
             path = write_report(report, args.output)
@@ -1285,6 +1296,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--smoke", action="store_true",
         help="fast CI mode: smaller corpus, fewer repeats",
+    )
+    bench_parser.add_argument(
+        "--only", default=None, metavar="NAME",
+        help="run a single named benchmark (see repro.analysis.bench."
+             "BENCHMARKS); skips writing the default report file",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run each selected benchmark N times and report the "
+             "median (default: 1)",
     )
     bench_parser.add_argument(
         "--output", default=None, metavar="PATH",

@@ -61,12 +61,49 @@ class BitWriter:
         acc = (self._acc << width) | value
         filled = self._filled + width
         self._bit_count += width
-        append = self._buffer.append
-        while filled >= 8:
-            filled -= 8
-            append((acc >> filled) & 0xFF)
-        self._acc = acc & ((1 << filled) - 1)
+        if filled >= 8:
+            # Drain every completed byte in one ``to_bytes`` instead of
+            # a byte-at-a-time loop — for wide fields (the bulk run
+            # path feeds kilobit accumulators through here) this is the
+            # difference between one big-int operation and dozens.
+            whole = filled >> 3
+            filled -= whole << 3
+            self._buffer += (acc >> filled).to_bytes(whole, "big")
+            acc &= (1 << filled) - 1
+        self._acc = acc
         self._filled = filled
+
+    def write_run(self, values, width: int) -> None:
+        """Append each of ``values`` as a ``width``-bit field (bulk path).
+
+        Byte-identical to calling :meth:`write_bits` per value; the
+        fields are packed word-at-a-time into bounded big-int chunks so
+        a thousand-code run costs a handful of integer operations
+        instead of a thousand accumulator round trips.
+        """
+        if width < 0:
+            raise BitIOError(f"width must be non-negative, got {width}")
+        if width == 0:
+            for value in values:
+                if value:
+                    raise BitIOError(
+                        f"value {value} does not fit in 0 bits"
+                    )
+            return
+        limit = 1 << width
+        # Bound chunk accumulators to ~2 kilobits: big-int shifts are
+        # cheap at that size and the cost stays linear in total bits.
+        chunk = max(1, 2048 // width)
+        for start in range(0, len(values), chunk):
+            part = values[start:start + chunk]
+            acc = 0
+            for value in part:
+                if value < 0 or value >= limit:
+                    raise BitIOError(
+                        f"value {value} does not fit in {width} bits"
+                    )
+                acc = (acc << width) | value
+            self.write_bits(acc, width * len(part))
 
     def write_bytes(self, data: bytes) -> None:
         """Append whole bytes (bulk path; fast when byte-aligned)."""
@@ -149,6 +186,44 @@ class BitReader:
         chunk = int.from_bytes(self._data[first:last], "big")
         self._position = end
         return (chunk >> ((last << 3) - end)) & ((1 << width) - 1)
+
+    def read_run(self, width: int, count: int):
+        """Read ``count`` consecutive ``width``-bit fields (bulk path).
+
+        Returns a list of unsigned integers, identical to ``count``
+        :meth:`read_bits` calls; whole chunks of the underlying bytes
+        are converted with one ``int.from_bytes`` each and the fields
+        sliced out of the big int, so per-field cost is a shift and a
+        mask.  Raises :class:`BitIOError` (without consuming anything)
+        when the stream holds fewer than ``width * count`` bits.
+        """
+        if width < 0:
+            raise BitIOError(f"width must be non-negative, got {width}")
+        if count < 0:
+            raise BitIOError(f"count must be non-negative, got {count}")
+        position = self._position
+        end = position + width * count
+        if end > self._total_bits:
+            raise BitIOError("bit stream exhausted")
+        if width == 0:
+            return [0] * count
+        out = []
+        append = out.append
+        mask = (1 << width) - 1
+        data = self._data
+        step = max(1, 2048 // width)
+        for start in range(0, count, step):
+            fields = min(step, count - start)
+            stop = position + fields * width
+            first = position >> 3
+            last = (stop + 7) >> 3
+            big = int.from_bytes(data[first:last], "big") \
+                >> ((last << 3) - stop)
+            for index in range(fields - 1, -1, -1):
+                append((big >> (index * width)) & mask)
+            position = stop
+        self._position = end
+        return out
 
     def peek_bits(self, width: int) -> int:
         """Return the next ``width`` bits without consuming them.

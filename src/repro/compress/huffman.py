@@ -21,14 +21,46 @@ from __future__ import annotations
 
 import heapq
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .bitio import BitIOError, BitReader, BitWriter
 from .codec import Codec, CodecCosts, CodecError, register_codec
 
+try:  # pragma: no cover - exercised indirectly via byte_frequencies
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
 _TAG_RAW = 0
 _TAG_SINGLE = 1
 _TAG_HUFFMAN = 2
+
+
+def byte_frequencies(chunks: Iterable[bytes]) -> Counter:
+    """Tally byte values across ``chunks`` into a :class:`Counter`.
+
+    Table-driven counting shared by the entropy coders: with numpy
+    available each chunk is counted by one ``bincount`` over a zero-copy
+    ``frombuffer`` view; the pure-stdlib fallback leans on
+    ``Counter.update``'s C fast path.  Both produce identical counters
+    (only order can differ, and every consumer sorts), so trained models
+    and payloads are byte-for-byte independent of which path ran.
+    """
+    if _np is not None:
+        totals = _np.zeros(256, dtype=_np.int64)
+        for chunk in chunks:
+            if chunk:
+                totals += _np.bincount(
+                    _np.frombuffer(chunk, dtype=_np.uint8), minlength=256
+                )
+        return Counter(
+            {int(symbol): int(totals[symbol])
+             for symbol in _np.nonzero(totals)[0]}
+        )
+    frequencies: Counter = Counter()
+    for chunk in chunks:
+        frequencies.update(chunk)
+    return frequencies
 
 #: Code lengths are stored in 4 bits, so depth must not exceed 15.
 _MAX_CODE_LENGTH = 15
@@ -245,7 +277,7 @@ class HuffmanCodec(Codec):
     def compress(self, data: bytes) -> bytes:
         if not data:
             return bytes((_TAG_RAW, 0, 0, 0, 0))
-        frequencies = Counter(data)
+        frequencies = byte_frequencies((data,))
         if len(frequencies) == 1:
             symbol = data[0]
             return bytes((_TAG_SINGLE, symbol)) + len(data).to_bytes(4, "big")

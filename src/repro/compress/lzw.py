@@ -96,6 +96,12 @@ class LZWCodec(Codec):
         previous = table[code]
         out += previous
 
+        # Codes are fetched in bulk runs: the width is a pure function of
+        # the table length (it bumps exactly when len(table) + 1 exceeds
+        # the current capacity), so the number of remaining same-width
+        # codes is known in advance and each run is one read_run call.
+        codes: List[int] = []
+        cursor = 0
         while len(out) < original_length:
             # Mirror the encoder's width growth: at the encoder's matching
             # emission its next_code equals our len(table) + 1, and it has
@@ -103,10 +109,20 @@ class LZWCodec(Codec):
             next_code = len(table) + 1
             if next_code > (1 << width) and width < _MAX_WIDTH:
                 width += 1
-            try:
-                code = reader.read_bits(width)
-            except BitIOError as exc:
-                raise CodecError(f"lzw stream truncated: {exc}") from exc
+            if cursor == len(codes):
+                run = (
+                    (1 << width) - len(table)
+                    if width < _MAX_WIDTH else 4096
+                )
+                run = min(run, reader.bits_remaining // width)
+                if run <= 0:
+                    raise CodecError(
+                        "lzw stream truncated: bit stream exhausted"
+                    )
+                codes = reader.read_run(width, run)
+                cursor = 0
+            code = codes[cursor]
+            cursor += 1
             if code < len(table):
                 entry = table[code]
             elif code == len(table):

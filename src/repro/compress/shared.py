@@ -35,7 +35,12 @@ from typing import Dict, List, Sequence, Tuple
 
 from .bitio import BitIOError, BitReader, BitWriter
 from .codec import Codec, CodecCosts, CodecError, register_codec
-from .huffman import CanonicalDecoder, _canonical_codes, _code_lengths
+from .huffman import (
+    CanonicalDecoder,
+    _canonical_codes,
+    _code_lengths,
+    byte_frequencies,
+)
 
 _TAG_RAW = 0
 _TAG_CODED = 1
@@ -322,10 +327,7 @@ class SharedHuffmanCodec(SharedModelCodec):
         self._model: _ByteHuffmanModel = None  # type: ignore[assignment]
 
     def _fit(self, samples: Sequence[bytes]) -> None:
-        frequencies: Counter = Counter()
-        for sample in samples:
-            frequencies.update(sample)
-        self._model = _ByteHuffmanModel(frequencies)
+        self._model = _ByteHuffmanModel(byte_frequencies(samples))
 
     def _model_state(self) -> bytes:
         return self._model.state_bytes()
@@ -379,11 +381,18 @@ class SharedFieldsCodec(SharedModelCodec):
         self._models: List[_ByteHuffmanModel] = []
 
     def _fit(self, samples: Sequence[bytes]) -> None:
-        frequencies = [Counter() for _ in range(_WORD)]
-        for sample in samples:
-            for offset, byte in enumerate(sample):
-                frequencies[offset % _WORD][byte] += 1
-        self._models = [_ByteHuffmanModel(freq) for freq in frequencies]
+        # Stride slicing peels each byte position out of every sample in
+        # C (``sample[position::4]``), so the per-position tallies go
+        # through the same table-driven counter as the byte models
+        # instead of a Python loop over every (offset, byte) pair.
+        self._models = [
+            _ByteHuffmanModel(
+                byte_frequencies(
+                    sample[position::_WORD] for sample in samples
+                )
+            )
+            for position in range(_WORD)
+        ]
 
     def _model_state(self) -> bytes:
         return b"\0".join(model.state_bytes() for model in self._models)

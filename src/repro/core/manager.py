@@ -53,6 +53,7 @@ from ..strategies.ondemand import OnDemandDecompression
 from ..strategies.predecompress import PreDecompressAll, PreDecompressSingle
 from ..strategies.predictor import make_predictor
 from .config import SimulationConfig
+from .replay import try_batched_replay
 from .residency import ResidencySubsystem
 from .timing import TimingModel
 
@@ -394,6 +395,11 @@ class CodeCompressionManager:
         current = entry
         self.profile.record_entry(entry.block_id)
 
+        # Trace replays inside the batched kernel's envelope skip the
+        # per-block loop entirely; everything else runs it unchanged.
+        if max_blocks is None and try_batched_replay(self):
+            return self._finish_run()
+
         while True:
             self._on_block_enter(current.block_id)
             outcome = self.machine.run_block(current)
@@ -410,6 +416,12 @@ class CodeCompressionManager:
             self._ensure_executable(next_id, came_from=current.block_id)
             current = self.cfg.block(next_id)
 
+        return self._finish_run()
+
+    def _finish_run(self) -> SimulationResult:
+        """Settle end-of-run accounting and assemble the result."""
+        residency = self.residency
+        timing = self.timing
         # Account contention: background busy cycles partially steal the
         # execution thread when configured.
         timing.finalize()

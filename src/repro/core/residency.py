@@ -219,6 +219,46 @@ class ResidencySubsystem:
             self._unit_fill_cache[unit_id] = cycles
         return cycles
 
+    def replay_geometry(self) -> Dict[int, tuple]:
+        """Per-unit geometry/timing table for the batched replay kernel.
+
+        ``unit -> (alloc_bytes, fill_cycles, read_bytes, block_count,
+        blocks_sorted)`` where ``alloc_bytes`` is the allocator-aligned
+        decompressed footprint of the unit, ``fill_cycles`` matches
+        :meth:`unit_fill_cycles` (the unit's own codec under a mixed
+        assignment), and ``read_bytes`` is the burst-rounded target
+        traffic one materialisation charges.  The table is memoized on
+        the shared :class:`~repro.memory.image.CompressionArtifacts`
+        keyed on (granularity, hierarchy), so every grid cell replaying
+        the same program/codec pair reuses it.
+        """
+        assert self.image is not None
+        artifacts = self.artifacts
+        key = (self.config.granularity, self.config.hierarchy)
+        table = artifacts.unit_timing.get(key)
+        if table is None:
+            align = self.image.allocator._align
+            table = {}
+            for unit_id, blocks in self._unit_blocks.items():
+                blocks_sorted = tuple(sorted(blocks))
+                alloc = 0
+                read_bytes = 0
+                for block_id in blocks_sorted:
+                    image_block = self.image.block(block_id)
+                    alloc += align(max(image_block.uncompressed_size, 1))
+                    read_bytes += self.hierarchy.target_read_bytes(
+                        image_block.compressed_size
+                    )
+                table[unit_id] = (
+                    alloc,
+                    self.unit_fill_cycles(unit_id),
+                    read_bytes,
+                    len(blocks_sorted),
+                    blocks_sorted,
+                )
+            artifacts.unit_timing[key] = table
+        return table
+
     def site_for(self, block_id: int) -> BranchSite:
         """The (memoized) terminator branch site of ``block_id``."""
         site = self._site_cache.get(block_id)

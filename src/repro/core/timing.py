@@ -136,6 +136,31 @@ class TimingModel:
         return self.decompress_worker.backlog()
 
     # ------------------------------------------------------------------
+    # Bulk fast-forward (batched trace replay)
+    # ------------------------------------------------------------------
+
+    def absorb_replay(
+        self,
+        now: int,
+        execution_delta: int,
+        stall_cycles_delta: int,
+        stalls_delta: int,
+    ) -> None:
+        """Absorb a batched replay's aggregate time accounting.
+
+        The batched kernel (:mod:`repro.core.replay`) accumulates
+        execution and stall cycles in local integers; this applies the
+        whole run's totals in one call, landing on exactly the state a
+        per-block sequence of :meth:`advance_execution`/:meth:`stall`
+        calls would have produced.  Only ungated (tracer-off) replays
+        use it, so no per-stall tracer hooks are skipped.
+        """
+        self.now = now
+        self.execution_cycles += execution_delta
+        self.counters.stall_cycles += stall_cycles_delta
+        self.counters.stalls += stalls_delta
+
+    # ------------------------------------------------------------------
     # End of run
     # ------------------------------------------------------------------
 

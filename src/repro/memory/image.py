@@ -64,6 +64,17 @@ class CompressionArtifacts:
     payloads: List[bytes]
     plaintext: Dict[int, bytes] = field(default_factory=dict)
     codec_map: Optional[Dict[int, Codec]] = None
+    #: Memoized per-unit decode timing/geometry, shared across every
+    #: manager built from these artifacts.  Keyed on
+    #: ``(granularity, hierarchy name)`` — the two axes unit geometry
+    #: and fill costs depend on besides the codec itself (``codec_map``
+    #: dispatch is baked into the values, so mixed-codec images benefit
+    #: too).  Values are ``unit -> (alloc_bytes, fill_cycles,
+    #: read_bytes, block_count, blocks_sorted)`` dicts built lazily by
+    #: :meth:`repro.core.residency.ResidencySubsystem.replay_geometry`.
+    unit_timing: Dict[Tuple[str, str], Dict[int, tuple]] = field(
+        default_factory=dict
+    )
 
 
 class ArtifactCache:
@@ -511,6 +522,39 @@ class SeparateAreaImage(CodeImage):
         block.resident_addr = None
         self.release_count += 1
         return block.uncompressed_size
+
+    def absorb_replay(
+        self,
+        resident_blocks: Sequence[int],
+        decompressed_blocks: int,
+        released_blocks: int,
+    ) -> None:
+        """Bring storage state in line after a batched trace replay.
+
+        The batched kernel (:mod:`repro.core.replay`) tracks residency
+        and footprint arithmetically instead of allocating per block;
+        this settles the final state: blocks resident before the kernel
+        ran (the entry unit, materialised by the pre-kernel fault) but
+        since released give up their allocations, every block in
+        ``resident_blocks`` gets a live one, and the decompress/release
+        tallies absorb the kernel's per-block counts.  Footprint
+        (``used_bytes``) ends up exactly where the per-block path would
+        have left it; transient allocator details a replay never
+        observes (hole layout, peak, extent) may differ.
+        """
+        keep = set(resident_blocks)
+        for block in self.blocks:
+            if block.is_resident and block.block_id not in keep:
+                self.allocator.free(block.resident_addr)
+                block.resident_addr = None
+        for block_id in resident_blocks:
+            block = self.blocks[block_id]
+            if not block.is_resident:
+                block.resident_addr = self.allocator.allocate(
+                    max(block.uncompressed_size, 1)
+                )
+        self.decompress_count += decompressed_blocks
+        self.release_count += released_blocks
 
     @property
     def footprint_bytes(self) -> int:

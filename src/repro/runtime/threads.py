@@ -135,6 +135,40 @@ class BackgroundWorker:
                 cursor = job.completes_at
         self.free_at = cursor
 
+    def absorb_jobs(
+        self,
+        free_at: int,
+        busy_delta: int,
+        scheduled: int,
+        completed: int,
+        pending,
+    ) -> None:
+        """Absorb a batch of externally simulated jobs.
+
+        The batched trace-replay kernel simulates this worker's FIFO
+        arithmetic in local variables (same schedule/retire rules) and
+        settles the result here: the clock (``free_at``), the performed
+        work, the completed-job tally, and any still-outstanding jobs as
+        ``(block_id, latency, scheduled_at, started_at, completes_at)``
+        tuples in schedule order.
+        """
+        self.free_at = free_at
+        self.busy_cycles += busy_delta
+        self.jobs_completed += completed
+        added = 0
+        for block_id, latency, scheduled_at, started, completes in pending:
+            self._pending[block_id] = Job(
+                block_id=block_id,
+                latency=latency,
+                scheduled_at=scheduled_at,
+                started_at=started,
+                completes_at=completes,
+                seq=self._seq,
+            )
+            self._seq += 1
+            added += 1
+        self._seq += scheduled - added
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -263,3 +263,65 @@ class TestConcurrentCrash:
         report = ExperimentStore(store_dir).verify()
         assert report["corrupt_objects"] == 0
         assert report["dangling_refs"] == 0
+
+
+class TestBatchedReplayChaos:
+    """The batched trace-replay kernel composes with fault injection.
+
+    Trace-engine cells run inside the batched kernel's envelope
+    (:mod:`repro.core.replay`); an injected ``$REPRO_FAULTS`` transient
+    must surface as a normal cell fault that per-cell retry recovers.
+    Faulted cells re-run on the exact per-block path (engine
+    ``"machine"``), untouched cells stay on the batched replay, and the
+    canonical results are byte-identical to a fault-free sweep either
+    way.
+    """
+
+    def test_replay_faults_recover_byte_identical(self, monkeypatch):
+        spec = _spec()  # engine="trace": every cell replays
+        baseline = api.run_experiment(spec)
+        assert all(
+            run.result.engine == "trace" for run in baseline.runs
+        )
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind="transient", site="cell", match="fib",
+                          times=2),
+                FaultRule(kind="hang", site="cell", match="gcd",
+                          seconds=5.0, times=1),
+            ),
+            seed=9,
+        )
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        survived = api.run_experiment(
+            spec, retry=_retry(timeout=0.5)
+        )
+        assert survived.errors() == []
+        # Faulted cells were re-run on the exact per-block path;
+        # untouched cells stayed on the batched replay.
+        engines = {
+            run.workload: {r.result.engine for r in survived.runs
+                           if r.workload == run.workload}
+            for run in survived.runs
+        }
+        assert engines["fib"] == {"machine"}  # both cells faulted
+        assert engines["gcd"] == {"machine", "trace"}  # one hang fired
+        # Either way the metrics agree byte-for-byte with fault-free.
+        assert survived.canonical_json() == baseline.canonical_json()
+
+    def test_exhausted_replay_cell_degrades_to_error_row(
+        self, monkeypatch
+    ):
+        plan = FaultPlan(rules=(
+            FaultRule(kind="transient", site="cell", match="fib",
+                      times=None),
+        ))
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        rs = api.run_experiment(_spec(), retry=_retry(attempts=2))
+        # fib exhausted into error rows; gcd still replayed cleanly.
+        assert len(rs.runs) == 4
+        assert {r.workload for r in rs.errors()} == {"fib"}
+        clean = [r for r in rs.runs if r.error is None]
+        assert clean and all(
+            run.result.engine == "trace" for run in clean
+        )

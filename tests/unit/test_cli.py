@@ -504,3 +504,46 @@ class TestStoreVerifyCLI:
         capsys.readouterr()
         assert main(["store", "stats", "--store", str(store)]) == 0
         assert "corrupt miss(es)" in capsys.readouterr().out
+
+
+class TestBenchCLI:
+    def test_only_runs_a_single_benchmark(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--smoke", "--only", "bitio_bulk"]) == 0
+        out = capsys.readouterr().out
+        assert "bitio bulk" in out
+        assert "codec round-trips" not in out
+        assert "ok: True" in out
+        # A filtered run is partial: the default report file must not
+        # be clobbered with it.
+        assert not (tmp_path / "BENCH_core.json").exists()
+
+    def test_only_with_explicit_output_writes_partial_report(
+            self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "partial.json"
+        assert main(["bench", "--smoke", "--only", "bitio_bulk",
+                     "--output", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        assert "bitio_bulk" in report
+        assert "e1_sweep" not in report
+        assert report["ok"] is True
+
+    def test_repeat_reports_the_median(self, capsys):
+        assert main(["bench", "--smoke", "--only", "bitio_bulk",
+                     "--repeat", "3", "--no-write"]) == 0
+        assert "bitio bulk" in capsys.readouterr().out
+
+    def test_unknown_benchmark_name_rejected(self, capsys):
+        assert main(["bench", "--only", "nope", "--no-write"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'nope'" in err
+        assert "bitio_bulk" in err
+
+    def test_zero_repeat_rejected(self, capsys):
+        assert main(["bench", "--only", "bitio_bulk", "--repeat", "0",
+                     "--no-write"]) == 2
+        assert "repeat" in capsys.readouterr().err

@@ -491,6 +491,43 @@ def bench_bitio_bulk(smoke: bool = False) -> Dict[str, object]:
     }
 
 
+def bench_pipeline(smoke: bool = False) -> Dict[str, object]:
+    """Layered-pipeline overhead vs. its flat entropy stage.
+
+    Round-trips the benchmark corpus through ``delta|huffman`` and
+    through flat ``huffman``: the transform layer must be lossless on
+    every input, and the composed encode+decode wall clock must stay
+    within 2.5x of the flat codec (``within_budget``) — the layering
+    machinery (transport header, transform passes) is bookkeeping, not
+    a second compressor, and this floor keeps it that way.
+    """
+    corpus = _corpus(smoke)
+    flat = get_codec("huffman")
+    pipe = get_codec("delta|huffman")
+    identical = all(
+        pipe.decompress(pipe.compress(data)) == data for data in corpus
+    )
+
+    def roundtrip(codec) -> None:
+        for data in corpus:
+            codec.decompress(codec.compress(data))
+
+    repeats = 3 if smoke else 5
+    flat_s = _time(lambda: roundtrip(flat), repeats)
+    pipe_s = _time(lambda: roundtrip(pipe), repeats)
+    overhead = pipe_s / flat_s if flat_s else float("inf")
+    return {
+        "pipeline": pipe.name,
+        "entropy": "huffman",
+        "inputs": len(corpus),
+        "flat_s": flat_s,
+        "pipeline_s": pipe_s,
+        "overhead_x": overhead,
+        "lossless": identical,
+        "within_budget": overhead <= 2.5,
+    }
+
+
 def bench_service_cached_rps(smoke: bool = False) -> Dict[str, object]:
     """Cached-submit throughput of the sweep service: must be ≥ 1000/s.
 
@@ -548,6 +585,7 @@ BENCHMARKS: Dict[str, Callable[[bool], Dict[str, object]]] = {
     "trace_overhead": bench_trace_overhead,
     "trace_replay_batched": bench_trace_replay_batched,
     "bitio_bulk": bench_bitio_bulk,
+    "bench_pipeline": bench_pipeline,
     "bench_service_cached_rps": bench_service_cached_rps,
 }
 
@@ -564,6 +602,9 @@ _GATES: Dict[str, Callable[[Dict[str, object]], bool]] = {
     ),
     "bitio_bulk": lambda r: (
         bool(r["identical"]) and bool(r["within_budget"])
+    ),
+    "bench_pipeline": lambda r: (
+        bool(r["lossless"]) and bool(r["within_budget"])
     ),
     "bench_service_cached_rps": lambda r: bool(r["within_budget"]),
 }
@@ -731,6 +772,17 @@ def render_report(report: Dict[str, object]) -> str:
             f"{tracing['armed_s'] * 1000:.1f} ms armed "
             f"({tracing['armed_overhead'] * 100:+.2f}%) "
             f"(budget < 2% dormant: {tracing['within_budget']})"
+        )
+    pipeline = report.get("bench_pipeline")
+    if pipeline:
+        lines.append(
+            f"pipeline {pipeline['pipeline']} "
+            f"({pipeline['inputs']} inputs): "
+            f"{pipeline['pipeline_s'] * 1000:.1f} ms vs flat "
+            f"{pipeline['entropy']} {pipeline['flat_s'] * 1000:.1f} ms "
+            f"-> {pipeline['overhead_x']:.2f}x "
+            f"(lossless: {pipeline['lossless']}; "
+            f"budget <= 2.5x: {pipeline['within_budget']})"
         )
     service = report.get("bench_service_cached_rps")
     if service:

@@ -60,7 +60,12 @@ from typing import List, Optional
 from . import api
 from .analysis import EnergyModel, Table, percent
 from .cfg import build_cfg, natural_loops
-from .compress import available_codecs, compare_codecs
+from .compress import (
+    CodecError,
+    available_codecs,
+    compare_codecs,
+    resolve_codec_spec,
+)
 from .core import DECOMPRESSION_STRATEGIES, SimulationConfig
 from .memory import available_hierarchies
 from .selection import (
@@ -70,6 +75,14 @@ from .selection import (
 )
 from .strategies import available_predictors
 from .workloads import available_workloads, get_workload
+
+
+def _parse_codec(text: str) -> str:
+    """Validate a --codec name or pipeline spec; argparse errors."""
+    try:
+        return resolve_codec_spec(text)
+    except CodecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _parse_assignment(text: str) -> str:
@@ -96,8 +109,14 @@ def _parse_k_list(text: str) -> List[Optional[int]]:
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--codec", default="shared-dict", choices=available_codecs(),
-        help="compression codec (default: shared-dict)",
+        "--codec", default="shared-dict", type=_parse_codec,
+        metavar="CODEC",
+        help="compression codec: a flat codec name "
+             f"({', '.join(available_codecs())}) or a layered "
+             "pipeline spec such as 'delta|huffman' or "
+             "'stride:4|shared-dict' (transform layers feeding an "
+             "entropy stage; see docs/pipelines.md; "
+             "default: shared-dict)",
     )
     parser.add_argument(
         "--strategy", default="ondemand",
@@ -286,6 +305,13 @@ def cmd_list(args: argparse.Namespace) -> int:
         if kind == "workloads":
             continue
         print(f"{kind + ':':12s} " + ", ".join(names))
+    print(
+        "\npipeline spec grammar: any 'layer[:params]|...|entropy' "
+        "composition of the transforms above feeding a flat codec is "
+        "itself a codec (e.g. --codec 'delta|huffman'); the pipelines "
+        "listed are the curated pipeline-search pool.  See "
+        "docs/pipelines.md."
+    )
     return 0
 
 

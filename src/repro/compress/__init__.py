@@ -12,12 +12,25 @@ from .codec import (
     NullCodec,
     available_codecs,
     get_codec,
+    is_known_codec,
+    is_pipeline_spec,
     register_codec,
+    resolve_codec_spec,
 )
 from .dictionary import DictionaryCodec
 from .huffman import HuffmanCodec
 from .lz77 import LZ77Codec
 from .lzw import LZWCodec
+from .pipeline import (
+    CANDIDATE_PIPELINES,
+    PIPELINES,
+    PipelineCodec,
+    PipelineError,
+    PipelineSpec,
+    available_pipelines,
+    parse_pipeline_payload,
+    parse_pipeline_spec,
+)
 from .rle import MTFRLECodec, RLECodec
 from .shared import (
     SharedDictionaryCodec,
@@ -33,12 +46,14 @@ from .stats import (
     measure_block,
     measure_image,
 )
+from .transforms import TRANSFORMS, Transform, available_transforms
 
 __all__ = [
     "BitIOError",
     "BitReader",
     "BitWriter",
     "BlockCompressionStats",
+    "CANDIDATE_PIPELINES",
     "Codec",
     "CodecCosts",
     "CodecError",
@@ -49,16 +64,29 @@ __all__ = [
     "LZWCodec",
     "MTFRLECodec",
     "NullCodec",
+    "PIPELINES",
+    "PipelineCodec",
+    "PipelineError",
+    "PipelineSpec",
     "RLECodec",
+    "TRANSFORMS",
+    "Transform",
     "SharedDictionaryCodec",
     "SharedFieldsCodec",
     "SharedHuffmanCodec",
     "SharedModelCodec",
     "available_codecs",
+    "available_pipelines",
+    "available_transforms",
     "block_bytes",
     "compare_codecs",
     "get_codec",
+    "is_known_codec",
+    "is_pipeline_spec",
     "measure_block",
     "measure_image",
+    "parse_pipeline_payload",
+    "parse_pipeline_spec",
     "register_codec",
+    "resolve_codec_spec",
 ]

@@ -132,16 +132,68 @@ def register_codec(name: str) -> Callable[[Type[Codec]], Type[Codec]]:
     return CODECS.register(name)
 
 
-def get_codec(name: str) -> Codec:
-    """Instantiate the codec registered under ``name``.
+def is_pipeline_spec(name: object) -> bool:
+    """True when ``name`` is written as a layered-pipeline spec
+    (compact ``"delta|huffman"`` form, a JSON object string, or a
+    dict) rather than a flat codec name."""
+    if isinstance(name, dict):
+        return True
+    return isinstance(name, str) and (
+        "|" in name or name.lstrip().startswith("{")
+    )
 
-    Raises ``KeyError`` with the list of known codecs if absent.
+
+def resolve_codec_spec(name: str) -> str:
+    """Canonicalize a codec name or pipeline spec.
+
+    Flat names pass through unchanged (after a registry check); both
+    pipeline spec forms collapse to the canonical compact string — the
+    one name configs, assignment maps, and store fingerprints carry.
+    Raises :class:`CodecError` for unknown names and malformed specs.
     """
+    if is_pipeline_spec(name):
+        from .pipeline import parse_pipeline_spec
+
+        return parse_pipeline_spec(name).compact
+    if name in CODECS:
+        return name
+    raise CodecError(
+        f"unknown codec '{name}'; available: {CODECS.names()} "
+        f"(or a pipeline spec such as 'delta|huffman')"
+    )
+
+
+def is_known_codec(name: str) -> bool:
+    """True when ``name`` resolves to a flat codec or a valid pipeline."""
+    try:
+        resolve_codec_spec(name)
+    except CodecError:
+        return False
+    return True
+
+
+def get_codec(name: str) -> Codec:
+    """Instantiate the codec ``name`` refers to.
+
+    Flat names come from the registry; pipeline specs (either form)
+    build a :class:`~repro.compress.pipeline.PipelineCodec`.  Raises
+    ``KeyError`` with the list of known codecs for unknown flat names
+    and :class:`CodecError` for malformed pipeline specs.
+    """
+    if is_pipeline_spec(name):
+        from .pipeline import PipelineCodec, parse_pipeline_spec
+
+        spec = parse_pipeline_spec(name)
+        if not spec.layers:  # a JSON spec with zero layers is flat
+            return CODECS.create(spec.entropy)
+        return PipelineCodec(spec)
     return CODECS.create(name)
 
 
 def available_codecs() -> List[str]:
-    """Names of all registered codecs."""
+    """Names of all registered flat codecs (pipeline specs are open-
+    ended and enumerated separately; see
+    :func:`repro.compress.pipeline.available_pipelines`)."""
     return CODECS.names()
 
 

@@ -1,0 +1,563 @@
+"""Layered codec pipelines: transform layers feeding an entropy stage.
+
+A pipeline composes zero or more :mod:`~repro.compress.transforms`
+layers with one flat entropy codec, described declaratively in either
+of two equivalent spec forms:
+
+* compact string — ``"delta|huffman"``, ``"stride:4|mtf|lzw"`` (the
+  last segment is the entropy codec, everything before it a transform,
+  parameters attached with colons);
+* JSON — ``{"layers": ["delta", {"kind": "stride", "params": [4]}],
+  "entropy": "lzw"}`` (accepted as a dict or a JSON string).
+
+Both parse into a canonical :class:`PipelineSpec`; the canonical
+*compact* string is the pipeline's codec name everywhere — config
+fields, assignment maps, store fingerprints, CLI ``--codec`` — so two
+spellings of the same pipeline always unify.
+:func:`~repro.compress.codec.get_codec` dispatches any pipeline spec to
+:class:`PipelineCodec` transparently; a curated candidate pool is
+pre-registered in the catalogued :data:`PIPELINES` registry at import
+(deterministically, so store fingerprints stay stable) and drives the
+``pipeline-search`` assignment policy.
+
+Two payload formats, mirroring the shared-model codecs:
+
+* the self-contained **transport format** (:meth:`PipelineCodec.compress`)
+  carries a versioned tagged header — magic, version, CRC-32 of the
+  original bytes, then each layer's kind and parameters and the entropy
+  codec's name — so decode is self-describing and truncation or
+  corruption raises :class:`PipelineError` instead of returning
+  garbage (the onion-container idea of the related framework's
+  versioned kind-tagged encodings);
+* the sized **image format** (:meth:`PipelineCodec.compress_block`) is
+  one tag byte (version + flags) plus the entropy stage's sized body —
+  the block table already knows each block's size, and the image knows
+  its codec, exactly like the shared-model codecs' 1-byte format.
+
+Shared-model entropy stages are allowed (``"delta|shared-dict"``):
+training forwards the transformed corpus to the entropy stage, and the
+model overhead/digest delegate to it — which is what makes pipelines
+competitive at basic-block sizes, where per-block headers dominate.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple, Union
+
+from ..registry import Registry
+from .codec import (
+    CODECS,
+    Codec,
+    CodecCosts,
+    CodecError,
+    compress_for_image,
+    decompress_for_image,
+)
+from .transforms import TRANSFORMS, Transform
+
+#: Transport-format framing.
+_MAGIC = 0xD5
+_VERSION = 1
+
+#: Sized-format framing: high nibble version, low nibble flags.
+_BLOCK_VERSION = 1
+_FLAG_EXPLICIT_LENGTH = 0x01
+
+
+class PipelineError(CodecError):
+    """Raised for malformed pipeline specs and undecodable payloads."""
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A parsed, canonical pipeline description.
+
+    ``layers`` is a tuple of ``(kind, params)`` pairs referencing the
+    :data:`~repro.compress.transforms.TRANSFORMS` registry; ``entropy``
+    is a flat codec name.  Hashable, so specs can key caches directly.
+    """
+
+    layers: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    entropy: str
+
+    @property
+    def compact(self) -> str:
+        """The canonical compact string (``"delta|stride:4|lzw"``).
+
+        With zero layers this is just the flat entropy codec name.
+        """
+        segments = [
+            kind + (":" + ":".join(str(p) for p in params)
+                    if params else "")
+            for kind, params in self.layers
+        ]
+        segments.append(self.entropy)
+        return "|".join(segments)
+
+    def to_json(self) -> "dict[str, Any]":
+        """The canonical JSON form (layer segments + entropy name)."""
+        return {
+            "layers": [
+                kind + (":" + ":".join(str(p) for p in params)
+                        if params else "")
+                for kind, params in self.layers
+            ],
+            "entropy": self.entropy,
+        }
+
+
+def is_pipeline_spec(name: Any) -> bool:
+    """True when ``name`` is written as a pipeline spec (compact form
+    with ``|`` separators, a JSON object string, or a dict)."""
+    if isinstance(name, dict):
+        return True
+    return isinstance(name, str) and (
+        "|" in name or name.lstrip().startswith("{")
+    )
+
+
+def _parse_layer(token: Any) -> Tuple[str, Tuple[int, ...]]:
+    """One layer segment -> validated ``(kind, params)``."""
+    if isinstance(token, dict):
+        kind = token.get("kind")
+        raw_params = token.get("params", [])
+        if not isinstance(kind, str) or not kind:
+            raise PipelineError(
+                f"pipeline layer object needs a 'kind' string, "
+                f"got {token!r}"
+            )
+        if not isinstance(raw_params, (list, tuple)):
+            raise PipelineError(
+                f"pipeline layer 'params' must be a list, "
+                f"got {raw_params!r}"
+            )
+        parts = [kind, *raw_params]
+    elif isinstance(token, str):
+        parts = [p.strip() for p in token.split(":")]
+    else:
+        raise PipelineError(
+            f"pipeline layer must be a string or object, got {token!r}"
+        )
+    kind = str(parts[0])
+    if not kind:
+        raise PipelineError("empty transform name in pipeline spec")
+    if kind not in TRANSFORMS:
+        raise PipelineError(
+            f"unknown transform '{kind}'; "
+            f"available: {TRANSFORMS.names()}"
+        )
+    params: List[int] = []
+    for raw in parts[1:]:
+        try:
+            value = int(raw)
+        except (TypeError, ValueError):
+            raise PipelineError(
+                f"transform '{kind}' parameter {raw!r} is not an "
+                f"integer"
+            ) from None
+        params.append(value)
+    return kind, tuple(params)
+
+
+def _validate(
+    layers: Sequence[Tuple[str, Tuple[int, ...]]], entropy: str
+) -> PipelineSpec:
+    if not isinstance(entropy, str) or not entropy:
+        raise PipelineError(
+            f"pipeline entropy stage must be a codec name, "
+            f"got {entropy!r}"
+        )
+    if "|" in entropy:
+        raise PipelineError(
+            f"pipeline entropy stage '{entropy}' must be a flat "
+            f"codec, not another pipeline"
+        )
+    if entropy not in CODECS:
+        raise PipelineError(
+            f"unknown entropy codec '{entropy}'; "
+            f"available: {CODECS.names()}"
+        )
+    for kind, params in layers:
+        if kind not in TRANSFORMS:
+            # Reached from payload headers; spec parsing rejects the
+            # name earlier with the same message.
+            raise PipelineError(
+                f"unknown transform '{kind}'; "
+                f"available: {TRANSFORMS.names()}"
+            )
+        try:
+            TRANSFORMS.create(kind, *params)
+        except (TypeError, ValueError) as exc:
+            raise PipelineError(
+                f"invalid parameters {params!r} for transform "
+                f"'{kind}': {exc}"
+            ) from None
+    if len(layers) > 15:
+        raise PipelineError(
+            f"pipelines support at most 15 layers, got {len(layers)}"
+        )
+    return PipelineSpec(layers=tuple(layers), entropy=entropy)
+
+
+def parse_pipeline_spec(
+    spec: Union[str, "dict[str, Any]"]
+) -> PipelineSpec:
+    """Parse either spec form into a canonical :class:`PipelineSpec`.
+
+    Raises :class:`PipelineError` (a :class:`CodecError`) with a
+    message naming the offending segment for every malformed input.
+    """
+    if isinstance(spec, dict):
+        return _parse_json(spec)
+    if not isinstance(spec, str) or not spec.strip():
+        raise PipelineError(
+            f"pipeline spec must be a non-empty string or object, "
+            f"got {spec!r}"
+        )
+    text = spec.strip()
+    if text.startswith("{"):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PipelineError(
+                f"pipeline spec is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(obj, dict):
+            raise PipelineError(
+                f"JSON pipeline spec must be an object, got {obj!r}"
+            )
+        return _parse_json(obj)
+    segments = [s.strip() for s in text.split("|")]
+    if any(not s for s in segments):
+        raise PipelineError(
+            f"pipeline spec {spec!r} has an empty segment"
+        )
+    layers = [_parse_layer(s) for s in segments[:-1]]
+    return _validate(layers, segments[-1])
+
+
+def _parse_json(obj: "dict[str, Any]") -> PipelineSpec:
+    unknown = set(obj) - {"layers", "entropy"}
+    if unknown:
+        raise PipelineError(
+            f"unknown pipeline spec keys {sorted(unknown)}; "
+            f"expected 'layers' and 'entropy'"
+        )
+    raw_layers = obj.get("layers", [])
+    if not isinstance(raw_layers, (list, tuple)):
+        raise PipelineError(
+            f"pipeline 'layers' must be a list, got {raw_layers!r}"
+        )
+    entropy = obj.get("entropy")
+    layers = [_parse_layer(token) for token in raw_layers]
+    return _validate(layers, entropy)
+
+
+class PipelineCodec(Codec):
+    """Transform layers composed in front of a flat entropy codec.
+
+    Instances behave exactly like any registered codec — ``name`` is
+    the canonical compact spec, ``costs`` sums the stages' cost models,
+    and the shared-model protocol (``train``/``is_trained``/
+    ``model_overhead_bytes``/``model_digest``) delegates to the entropy
+    stage (training on forward-transformed samples).
+    """
+
+    def __init__(
+        self, spec: Union[str, "dict[str, Any]", PipelineSpec]
+    ) -> None:
+        if not isinstance(spec, PipelineSpec):
+            spec = parse_pipeline_spec(spec)
+        self.spec = spec
+        self.transforms: Tuple[Transform, ...] = tuple(
+            TRANSFORMS.create(kind, *params)
+            for kind, params in spec.layers
+        )
+        self.entropy: Codec = CODECS.create(spec.entropy)
+        self.name = spec.compact
+        self.length_preserving = all(
+            t.length_preserving for t in self.transforms
+        )
+        entropy_costs = self.entropy.costs
+        self.costs = CodecCosts(
+            decompress_cycles_per_byte=(
+                entropy_costs.decompress_cycles_per_byte
+                + sum(t.inverse_cycles_per_byte for t in self.transforms)
+            ),
+            compress_cycles_per_byte=(
+                entropy_costs.compress_cycles_per_byte
+                + sum(t.forward_cycles_per_byte for t in self.transforms)
+            ),
+            fixed=entropy_costs.fixed
+            + sum(t.fixed_cycles for t in self.transforms),
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-model protocol (delegated to the entropy stage)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        """True unless the entropy stage still needs training."""
+        return bool(getattr(self.entropy, "is_trained", True))
+
+    @property
+    def model_overhead_bytes(self) -> int:
+        """The entropy stage's shared-model bytes (0 for per-block
+        entropy codecs)."""
+        return int(getattr(self.entropy, "model_overhead_bytes", 0))
+
+    def train(self, samples: Sequence[bytes]) -> None:
+        """Train a shared-model entropy stage on the *transformed*
+        corpus (no-op for per-block entropy codecs)."""
+        train = getattr(self.entropy, "train", None)
+        if train is not None:
+            train([self._forward(sample) for sample in samples])
+
+    def model_digest(self) -> str:
+        """Content digest of the trained pipeline: the spec plus the
+        entropy stage's model digest."""
+        import hashlib
+
+        hasher = hashlib.sha256(self.name.encode("utf-8"))
+        digest = getattr(self.entropy, "model_digest", None)
+        if digest is not None:
+            hasher.update(digest().encode("ascii"))
+        return hasher.hexdigest()
+
+    # ------------------------------------------------------------------
+    # The stage chain
+    # ------------------------------------------------------------------
+
+    def _forward(self, data: bytes) -> bytes:
+        for transform in self.transforms:
+            data = transform.forward(data)
+        return data
+
+    def _inverse(self, data: bytes) -> bytes:
+        for transform in reversed(self.transforms):
+            data = transform.inverse(data)
+        return data
+
+    # ------------------------------------------------------------------
+    # Self-contained transport format (versioned tagged header)
+    # ------------------------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        transformed = self._forward(data)
+        body = self.entropy.compress(transformed)
+        header = bytearray((_MAGIC, _VERSION))
+        header += (zlib.crc32(data) & 0xFFFFFFFF).to_bytes(4, "big")
+        header.append(len(self.spec.layers))
+        for kind, params in self.spec.layers:
+            encoded = kind.encode("ascii")
+            header.append(len(encoded))
+            header += encoded
+            header.append(len(params))
+            for param in params:
+                if not 0 <= param <= 0xFFFF:
+                    raise PipelineError(
+                        f"transform parameter {param} does not fit "
+                        f"the payload header (u16)"
+                    )
+                header += param.to_bytes(2, "big")
+        encoded = self.spec.entropy.encode("ascii")
+        header.append(len(encoded))
+        header += encoded
+        return bytes(header) + body
+
+    def decompress(self, payload: bytes) -> bytes:
+        spec, crc, body = parse_pipeline_payload(payload)
+        if spec == self.spec:
+            entropy, transforms = self.entropy, self.transforms
+        else:
+            # Self-describing decode: rebuild the stages the header
+            # names.  A shared-model entropy stage rebuilt this way is
+            # untrained and raises CodecError below, like the flat
+            # shared codecs do for foreign instances.
+            other = PipelineCodec(spec)
+            entropy, transforms = other.entropy, other.transforms
+        transformed = entropy.decompress(body)
+        data = transformed
+        for transform in reversed(transforms):
+            data = transform.inverse(data)
+        if (zlib.crc32(data) & 0xFFFFFFFF) != crc:
+            raise PipelineError(
+                f"pipeline '{spec.compact}' payload corrupted "
+                f"(CRC mismatch)"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Sized image format (the block table knows the length)
+    # ------------------------------------------------------------------
+
+    def compress_block(self, data: bytes) -> bytes:
+        """Compress for a code image: ``[tag][entropy sized body]``.
+
+        The tag byte carries the format version and, for pipelines with
+        a non-length-preserving layer, a flag that a 2-byte transformed
+        length follows (length-preserving pipelines recover it from the
+        block table for free).
+        """
+        transformed = self._forward(data)
+        body = compress_for_image(self.entropy, transformed)
+        if self.length_preserving:
+            return bytes(((_BLOCK_VERSION << 4),)) + body
+        if len(transformed) > 0xFFFF:
+            raise PipelineError(
+                f"pipeline block transforms to {len(transformed)} "
+                f"bytes, beyond the sized format's 64 KiB limit"
+            )
+        return (
+            bytes(((_BLOCK_VERSION << 4) | _FLAG_EXPLICIT_LENGTH,))
+            + len(transformed).to_bytes(2, "big")
+            + body
+        )
+
+    def decompress_block(self, payload: bytes, length: int) -> bytes:
+        """Invert :meth:`compress_block` given the block's known size."""
+        if not payload:
+            raise PipelineError("empty pipeline block payload")
+        tag = payload[0]
+        if tag >> 4 != _BLOCK_VERSION:
+            raise PipelineError(
+                f"unsupported pipeline block version {tag >> 4}"
+            )
+        position = 1
+        if tag & _FLAG_EXPLICIT_LENGTH:
+            if len(payload) < 3:
+                raise PipelineError(
+                    "pipeline block payload truncated in length field"
+                )
+            transformed_length = int.from_bytes(payload[1:3], "big")
+            position = 3
+        else:
+            transformed_length = length
+        transformed = decompress_for_image(
+            self.entropy, payload[position:], transformed_length
+        )
+        data = self._inverse(transformed)
+        if len(data) != length:
+            raise PipelineError(
+                f"pipeline block decoded to {len(data)} bytes, "
+                f"expected {length}"
+            )
+        return data
+
+
+def parse_pipeline_payload(
+    payload: bytes,
+) -> Tuple[PipelineSpec, int, bytes]:
+    """Parse a transport-format payload's tagged header.
+
+    Returns ``(spec, crc32, entropy body)``; raises
+    :class:`PipelineError` on truncation, a bad magic/version, or an
+    unknown layer/entropy name — never returns garbage.
+    """
+    view = bytes(payload)
+
+    def take(n: int, what: str) -> bytes:
+        nonlocal position
+        if position + n > len(view):
+            raise PipelineError(
+                f"pipeline payload truncated in {what}"
+            )
+        chunk = view[position:position + n]
+        position += n
+        return chunk
+
+    position = 0
+    magic, version = take(2, "framing")
+    if magic != _MAGIC:
+        raise PipelineError(
+            f"not a pipeline payload (magic {magic:#x})"
+        )
+    if version != _VERSION:
+        raise PipelineError(
+            f"unsupported pipeline payload version {version}"
+        )
+    crc = int.from_bytes(take(4, "checksum"), "big")
+    (layer_count,) = take(1, "layer count")
+    layers: List[Tuple[str, Tuple[int, ...]]] = []
+    for _ in range(layer_count):
+        (kind_length,) = take(1, "layer kind length")
+        try:
+            kind = take(kind_length, "layer kind").decode("ascii")
+        except UnicodeDecodeError:
+            raise PipelineError(
+                "pipeline payload layer kind is not ASCII"
+            ) from None
+        (param_count,) = take(1, "layer parameter count")
+        params = tuple(
+            int.from_bytes(take(2, "layer parameter"), "big")
+            for _ in range(param_count)
+        )
+        layers.append((kind, params))
+    (entropy_length,) = take(1, "entropy name length")
+    try:
+        entropy = take(entropy_length, "entropy name").decode("ascii")
+    except UnicodeDecodeError:
+        raise PipelineError(
+            "pipeline payload entropy name is not ASCII"
+        ) from None
+    spec = _validate(layers, entropy)
+    return spec, crc, view[position:]
+
+
+# ----------------------------------------------------------------------
+# The curated pipeline catalog
+# ----------------------------------------------------------------------
+
+#: The curated composition pool the ``pipeline-search`` assignment
+#: policy explores, most promising first.  Shared-model entropy stages
+#: dominate because at basic-block sizes per-block headers swamp any
+#: transform gains; per-block entropy pipelines close the pool for
+#: function-granularity units.
+CANDIDATE_PIPELINES: Tuple[str, ...] = (
+    "stride:4|shared-dict",
+    "delta|shared-dict",
+    "stride:4|shared-huffman",
+    "delta|shared-fields",
+    "mtf|shared-huffman",
+    "dict:16|huffman",
+    "delta|lzw",
+)
+
+#: Pipelines, in the unified component catalog: the curated pool is
+#: registered at import (deterministically — store fingerprints see a
+#: stable catalog), each under its canonical compact name, mapping to
+#: a zero-argument :class:`PipelineCodec` factory.
+PIPELINES = Registry("pipelines", item="pipeline")
+
+
+# The candidate pool references built-in entropy codecs; importing the
+# codec modules here (not relying on package import order) guarantees
+# they are registered before the pool validates against the registry.
+from . import dictionary  # noqa: E402,F401
+from . import huffman  # noqa: E402,F401
+from . import lz77  # noqa: E402,F401
+from . import lzw  # noqa: E402,F401
+from . import rle  # noqa: E402,F401
+from . import shared  # noqa: E402,F401
+
+
+def _register_candidates() -> None:
+    for raw in CANDIDATE_PIPELINES:
+        spec = parse_pipeline_spec(raw)
+
+        def factory(spec: PipelineSpec = spec) -> PipelineCodec:
+            return PipelineCodec(spec)
+
+        PIPELINES.add(spec.compact, factory)
+
+
+_register_candidates()
+
+
+def available_pipelines() -> List[str]:
+    """Canonical names of the registered (curated) pipelines."""
+    return PIPELINES.names(sort=False)

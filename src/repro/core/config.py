@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cfg.profile import EdgeProfile
-from ..compress.codec import available_codecs
+from ..compress.codec import CodecError, resolve_codec_spec
 from ..memory.hierarchy import HIERARCHIES
 from ..selection.assignment import AssignmentError, validate_assignment
 from ..strategies.base import STRATEGIES
@@ -45,7 +45,11 @@ class SimulationConfig:
 
     Attributes:
         codec: registered codec name ("lzw", "huffman", "dictionary",
-            "lz77", "rle", "mtf-rle", "null").
+            "lz77", "rle", "mtf-rle", "null") or a layered pipeline
+            spec — compact ``"delta|huffman"`` or JSON
+            ``{"layers": [...], "entropy": "lzw"}`` form (see
+            :mod:`repro.compress.pipeline`).  Pipeline specs are
+            canonicalized to the compact form on construction.
         decompression: "ondemand", "pre-all", "pre-single", or "none"
             (the never-compressed baseline that skips the image entirely).
         k_compress: the compression-side k of the k-edge algorithm;
@@ -115,11 +119,16 @@ class SimulationConfig:
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.codec not in available_codecs():
-            raise ConfigError(
-                f"unknown codec '{self.codec}'; "
-                f"available: {available_codecs()}"
-            )
+        # Accept flat codec names and layered pipeline specs (compact
+        # or JSON form); the field is canonicalized in place so two
+        # spellings of the same pipeline produce equal configs — and
+        # therefore equal store fingerprints.
+        try:
+            canonical = resolve_codec_spec(self.codec)
+        except CodecError as exc:
+            raise ConfigError(str(exc)) from None
+        if canonical != self.codec:
+            object.__setattr__(self, "codec", canonical)
         if self.decompression not in STRATEGIES:
             raise ConfigError(
                 f"unknown decompression strategy '{self.decompression}'; "

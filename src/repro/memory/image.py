@@ -317,8 +317,14 @@ class CodeImage(abc.ABC):
         ):
             codec.train([block_bytes(block) for block in cfg.blocks])
         if self._codec_map is not None:
+            # One model per *distinct codec name* (flat or canonical
+            # pipeline spec): two instances of the same trained codec
+            # would share one decoder model in a real image, while two
+            # pipelines differing only in parameters are distinct
+            # models and both charge.
             distinct = {
-                id(c): c for c in self._codec_map.values()
+                getattr(c, "name", repr(c)): c
+                for c in self._codec_map.values()
             }
             self.model_overhead = sum(
                 int(getattr(c, "model_overhead_bytes", 0))

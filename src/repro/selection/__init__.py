@@ -8,7 +8,9 @@ explicit and sweepable via ``SimulationConfig.assignment``.
 See :mod:`repro.selection.assignment` for the policy interface and
 :mod:`repro.selection.policies` for the built-ins (``uniform``,
 ``hotness-threshold``, ``knapsack``); ``docs/strategies.md`` maps them
-back to the paper.
+back to the paper.  :mod:`repro.selection.pipeline_search` extends the
+family over the layered-pipeline composition space
+(``pipeline-search[:candidates]``, see ``docs/pipelines.md``).
 """
 
 from .assignment import (
@@ -27,6 +29,7 @@ from .assignment import (
     unit_map,
     validate_assignment,
 )
+from .pipeline_search import PipelineSearchAssignment
 from .policies import (
     HotnessThresholdAssignment,
     KnapsackAssignment,
@@ -42,6 +45,7 @@ __all__ = [
     "CodecAssignment",
     "HotnessThresholdAssignment",
     "KnapsackAssignment",
+    "PipelineSearchAssignment",
     "UniformAssignment",
     "UnitStats",
     "assignment_artifacts",

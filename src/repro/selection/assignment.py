@@ -52,7 +52,7 @@ from typing import (
 from ..cfg.builder import ProgramCFG
 from ..cfg.loops import natural_loops
 from ..cfg.profile import EdgeProfile
-from ..compress.codec import available_codecs, get_codec
+from ..compress.codec import CodecError, get_codec, resolve_codec_spec
 from ..memory.image import (
     CompressionArtifacts,
     artifact_cache,
@@ -371,7 +371,6 @@ def build_assignment(
         profile=config.profile,
     )
     unit_codecs = dict(policy.assign(context))
-    known = set(available_codecs())
     _, unit_blocks = unit_map(cfg, config.granularity)
     for unit_id in unit_blocks:
         codec_name = unit_codecs.get(unit_id)
@@ -380,11 +379,16 @@ def build_assignment(
                 f"assignment policy '{config.assignment}' left unit "
                 f"{unit_id} unassigned"
             )
-        if codec_name not in known:
+        try:
+            # Flat names pass through; pipeline specs canonicalize so
+            # the digest (and the artifact memo keys) never see two
+            # spellings of one pipeline.
+            unit_codecs[unit_id] = resolve_codec_spec(codec_name)
+        except CodecError:
             raise AssignmentError(
                 f"assignment policy '{config.assignment}' chose "
                 f"unknown codec '{codec_name}' for unit {unit_id}"
-            )
+            ) from None
     block_codecs = {
         block_id: unit_codecs[unit_id]
         for unit_id, blocks in unit_blocks.items()

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-from ..compress.codec import available_codecs
+from ..compress.codec import available_codecs, is_known_codec
 from .assignment import (
     ASSIGNMENTS,
     UNCOMPRESSED,
@@ -73,11 +73,13 @@ class HotnessThresholdAssignment(AssignmentPolicy):
             )
         # Validate the codec name here so a typo fails at spec
         # validation (clean argparse/ConfigError), not mid-run after
-        # the profiling pass.
-        if hot_codec not in available_codecs():
+        # the profiling pass.  Pipeline specs are accepted too, though
+        # colon-parameterised ones cannot travel inside an assignment
+        # spec (the spec grammar claims colons first).
+        if not is_known_codec(str(hot_codec)):
             raise ValueError(
                 f"unknown hot_codec '{hot_codec}'; "
-                f"available: {available_codecs()}"
+                f"available: {available_codecs()} or a pipeline spec"
             )
         self.hot_fraction = float(hot_fraction)
         self.hot_codec = str(hot_codec)

@@ -32,6 +32,8 @@ import pathlib
 from typing import Any, Dict, List, Optional
 
 from ..cfg.profile import EdgeProfile
+from ..compress.codec import is_pipeline_spec
+from ..compress.pipeline import parse_pipeline_spec
 from ..core.config import SimulationConfig
 from ..memory.hierarchy import get_hierarchy
 from ..registry import catalog_signature
@@ -146,6 +148,12 @@ def config_signature(config: SimulationConfig) -> Dict[str, Any]:
             value = _profile_digest(value)
         elif f.name == "hierarchy":
             value = dataclasses.asdict(get_hierarchy(value))
+        elif f.name == "codec" and is_pipeline_spec(value):
+            # Pipeline specs expand to their parsed structure so the
+            # fingerprint sees layer kinds and parameters explicitly
+            # (and both spec spellings, already canonicalized by the
+            # config, stay one cache entry).
+            value = parse_pipeline_spec(value).to_json()
         out[f.name] = value
     return out
 

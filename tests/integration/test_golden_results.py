@@ -64,3 +64,19 @@ class TestGoldenResults:
         assert data["cells"], "golden file has no cells"
         for cell in data["cells"]:
             assert cell["config"]["hierarchy"] == "flat"
+
+    def test_golden_config_keys_match_live_schema(self):
+        # A new SimulationConfig field changes every cell's config
+        # signature: the golden file must then be deliberately
+        # regenerated, never silently left stale.  (Pipeline codecs
+        # deliberately added no field — a pipeline spec is a value of
+        # the existing ``codec`` axis.)
+        import dataclasses
+
+        from repro.core import SimulationConfig as Config
+
+        live = {f.name for f in dataclasses.fields(Config)}
+        live |= {"strategy_name", "label"}
+        data = json.loads(GOLDEN.read_text())
+        for cell in data["cells"]:
+            assert set(cell["config"]) == live

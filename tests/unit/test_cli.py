@@ -76,6 +76,57 @@ class TestRun:
         assert main(["run", "crc32", "--budget", "4096"]) == 0
 
 
+class TestPipelineCodecOption:
+    def test_run_accepts_compact_pipeline_spec(self, capsys):
+        assert main(
+            ["run", "fib", "--codec", "delta|huffman"]
+        ) == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+    def test_run_accepts_json_pipeline_spec(self, capsys):
+        assert main([
+            "run", "fib", "--codec",
+            '{"layers": ["stride:4"], "entropy": "shared-dict"}',
+        ]) == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+    def test_unknown_layer_rejected_with_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fib", "--codec", "bogus|huffman"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "unknown transform 'bogus'" in err
+        assert "delta" in err  # names what *is* available
+
+    def test_empty_segment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "fib", "--codec", "|huffman"])
+        assert excinfo.value.code != 0
+        assert "empty segment" in capsys.readouterr().err
+
+    def test_pipeline_entropy_stage_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fib", "--codec", "delta|"])
+        assert excinfo.value.code != 0
+        assert "empty segment" in capsys.readouterr().err
+
+    def test_unknown_flat_codec_suggests_pipelines(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fib", "--codec", "nope"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "unknown codec 'nope'" in err
+        assert "pipeline spec" in err
+
+    def test_list_shows_pipelines_and_transforms(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelines:" in out
+        assert "transforms:" in out
+        assert "stride:4|shared-dict" in out
+        assert "pipeline spec grammar" in out
+
+
 class TestSweep:
     def test_sweep_table(self, capsys):
         assert main(["sweep", "gcd", "--k-values", "1,4,inf"]) == 0
